@@ -1,0 +1,71 @@
+//! Activity-vector benchmarks: interval → epoch conversion and histogram
+//! maintenance — the inner loops of the grouping pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use thrifty::prelude::*;
+
+/// Synthetic busy intervals: `n` sessions of ~20 min spread over 7 days.
+fn intervals(n: u64) -> Vec<(u64, u64)> {
+    (0..n)
+        .map(|k| {
+            let start = k * (7 * 86_400_000 / n);
+            (start, start + 1_200_000)
+        })
+        .collect()
+}
+
+fn bench_from_intervals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("activity_from_intervals");
+    let horizon = 7 * 86_400_000u64;
+    for epoch_ms in [1_000u64, 10_000, 90_000] {
+        let iv = intervals(400);
+        let cfg = EpochConfig::new(epoch_ms, horizon);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}s", epoch_ms / 1000)),
+            &cfg,
+            |b, &cfg| b.iter(|| black_box(ActivityVector::from_intervals(black_box(&iv), cfg))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_histogram_add(c: &mut Criterion) {
+    let horizon = 7 * 86_400_000u64;
+    let cfg = EpochConfig::new(10_000, horizon);
+    let v = ActivityVector::from_intervals(&intervals(400), cfg);
+    c.bench_function("activity/histogram_add", |b| {
+        b.iter_with_setup(
+            || ActiveCountHistogram::new(cfg.epoch_count()),
+            |mut h| {
+                h.add(black_box(&v));
+                black_box(h)
+            },
+        )
+    });
+}
+
+fn bench_candidate_evaluation(c: &mut Criterion) {
+    let horizon = 7 * 86_400_000u64;
+    let cfg = EpochConfig::new(10_000, horizon);
+    let mut h = ActiveCountHistogram::new(cfg.epoch_count());
+    for k in 0..10u64 {
+        let shifted: Vec<(u64, u64)> = intervals(400)
+            .iter()
+            .map(|&(s, e)| (s + k * 60_000, e + k * 60_000))
+            .collect();
+        h.add(&ActivityVector::from_intervals(&shifted, cfg));
+    }
+    let candidate = ActivityVector::from_intervals(&intervals(400), cfg);
+    c.bench_function("activity/ttp_with_candidate", |b| {
+        b.iter(|| black_box(h.ttp_with(black_box(&candidate), 3)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_from_intervals,
+    bench_histogram_add,
+    bench_candidate_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Query-routing benchmarks: Algorithm 1 decision latency — the router sits
+//! on the critical path of every tenant query at run time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use thrifty::prelude::*;
+
+fn bench_route_complete_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for a in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("route_complete", a), &a, |b, &a| {
+            let mut router = QueryRouter::new(a);
+            let mut i = 0u32;
+            b.iter(|| {
+                let tenant = TenantId(i % 40);
+                i = i.wrapping_add(1);
+                let route = router.route(black_box(tenant));
+                router.complete(route.mppdb, tenant);
+                black_box(route)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_route_under_load(c: &mut Criterion) {
+    // Routing with many sticky tenants resident: the serving() scan must
+    // stay cheap.
+    c.bench_function("routing/route_under_load", |b| {
+        let mut router = QueryRouter::new(4);
+        for t in 0..4u32 {
+            router.route(TenantId(t));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let tenant = TenantId(4 + (i % 60));
+            i = i.wrapping_add(1);
+            let route = router.route(black_box(tenant)); // overflow path
+            router.complete(route.mppdb, tenant);
+            black_box(route)
+        })
+    });
+}
+
+criterion_group!(benches, bench_route_complete_cycle, bench_route_under_load);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Discrete-event engine benchmarks: processor-sharing throughput under
+//! varying concurrency — the substrate cost of every replay experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mppdb_sim::prelude::*;
+use std::hint::black_box;
+
+fn bench_sequential_queries(c: &mut Criterion) {
+    let template = QueryTemplate::new(TemplateId(1), 100.0, 0.0);
+    c.bench_function("sim/sequential_1000_queries", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(ClusterConfig::with_instant_provisioning(4));
+            let inst = cluster
+                .provision_instance(4, &[(SimTenantId(0), 100.0)])
+                .unwrap();
+            for _ in 0..1000 {
+                cluster
+                    .submit(inst, QuerySpec::new(template, 100.0, SimTenantId(0)))
+                    .unwrap();
+                cluster.run_to_quiescence();
+            }
+            black_box(cluster.now())
+        })
+    });
+}
+
+fn bench_concurrent_queries(c: &mut Criterion) {
+    // Worst case for processor sharing: k concurrent queries cause O(k)
+    // work per arrival/completion reschedule.
+    let template = QueryTemplate::new(TemplateId(1), 100.0, 0.0);
+    let mut group = c.benchmark_group("sim_concurrent_batch");
+    group.sample_size(20);
+    for k in [10usize, 100, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(ClusterConfig::with_instant_provisioning(4));
+                let inst = cluster
+                    .provision_instance(4, &[(SimTenantId(0), 100.0)])
+                    .unwrap();
+                for _ in 0..k {
+                    cluster
+                        .submit(inst, QuerySpec::new(template, 100.0, SimTenantId(0)))
+                        .unwrap();
+                }
+                black_box(cluster.run_to_quiescence().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_many_instances(c: &mut Criterion) {
+    // A fleet of instances with interleaved traffic — the shape of a full
+    // service replay.
+    let template = QueryTemplate::new(TemplateId(1), 100.0, 0.0);
+    c.bench_function("sim/fleet_50_instances_interleaved", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(ClusterConfig::with_instant_provisioning(100));
+            let instances: Vec<InstanceId> = (0..50u32)
+                .map(|i| {
+                    cluster
+                        .provision_instance(2, &[(SimTenantId(i), 100.0)])
+                        .unwrap()
+                })
+                .collect();
+            for round in 0..10u32 {
+                for (i, &inst) in instances.iter().enumerate() {
+                    cluster
+                        .submit(
+                            inst,
+                            QuerySpec::new(template, 100.0, SimTenantId(i as u32)),
+                        )
+                        .unwrap();
+                }
+                cluster.run_until(SimTime::from_secs(u64::from(round + 1) * 600));
+            }
+            black_box(cluster.run_to_quiescence().len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_queries,
+    bench_concurrent_queries,
+    bench_many_instances
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Workload-generation benchmarks: Step-1 session simulation and Step-2
+//! multi-tenant composition (§7.1) — the cost of regenerating a corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use thrifty_workload::prelude::*;
+use thrifty_workload::rng::stream_rng;
+use thrifty_workload::session::generate_session;
+
+fn bench_session_generation(c: &mut Criterion) {
+    let cfg = GenerationConfig::small(7, 10);
+    let mut group = c.benchmark_group("workload_session");
+    group.sample_size(20);
+    for parallelism in [2u32, 32] {
+        group.bench_function(format!("{parallelism}-node_3h_session"), |b| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                black_box(generate_session(
+                    &cfg,
+                    parallelism,
+                    Benchmark::TpcH,
+                    &mut stream_rng(1, 2, trial),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tenant_composition(c: &mut Criterion) {
+    let mut cfg = GenerationConfig::small(7, 50);
+    cfg.session_trials = 6;
+    let library = SessionLibrary::generate(&cfg);
+    let composer = Composer::new(&cfg, &library);
+    let spec = composer.tenant_specs()[0];
+    let mut group = c.benchmark_group("workload_composition");
+    group.bench_function("tenant_7day_log", |b| {
+        b.iter(|| black_box(composer.compose_log(&spec)))
+    });
+    group.bench_function("tenant_7day_busy_intervals", |b| {
+        b.iter(|| black_box(composer.busy_intervals(&spec)))
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let z = ZipfSampler::new(5, 0.8);
+    c.bench_function("workload/zipf_sample", |b| {
+        let mut rng = stream_rng(3, 0, 0);
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_session_generation,
+    bench_tenant_composition,
+    bench_zipf
+);
+criterion_main!(benches);

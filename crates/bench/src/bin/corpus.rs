@@ -1,0 +1,123 @@
+//! Corpus tool: generate, save, and inspect §7.1 tenant-log corpora.
+//!
+//! ```text
+//! corpus generate out.json [--seed N] [--tenants T] [--days D] [--trials K]
+//! corpus inspect out.json
+//! ```
+//!
+//! Generation at paper scale takes minutes; saving the corpus lets replay
+//! experiments (and external tools) reuse the exact same logs.
+
+use std::process::ExitCode;
+use thrifty_workload::prelude::*;
+
+const USAGE: &str = "\
+usage: corpus generate <path> [--seed N] [--tenants T] [--days D] [--trials K]
+       corpus inspect <path>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("generate needs an output path\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut seed = 42u64;
+    let mut tenants = 200usize;
+    let mut days = 7u64;
+    let mut trials = 12usize;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("{flag} needs a value\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        let parsed: Result<u64, _> = value.parse();
+        let Ok(v) = parsed else {
+            eprintln!("{flag} needs an integer, got {value}\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        match flag.as_str() {
+            "--seed" => seed = v,
+            "--tenants" => tenants = v as usize,
+            "--days" => days = v,
+            "--trials" => trials = v as usize,
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut config = GenerationConfig::small(seed, tenants);
+    config.horizon_days = days;
+    config.session_trials = trials;
+    config.validate();
+
+    eprintln!("generating {tenants} tenants over {days} days (seed {seed}) ...");
+    let library = SessionLibrary::generate(&config);
+    let composer = Composer::new(&config, &library);
+    let log = composer.compose_all();
+    eprintln!(
+        "composed {} query events across {} tenants",
+        log.event_count(),
+        log.tenants.len()
+    );
+    let corpus = SavedCorpus { config, log };
+    if let Err(e) = corpus.save(path) {
+        eprintln!("failed to save {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("saved to {path}");
+    ExitCode::SUCCESS
+}
+
+fn inspect(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("inspect needs a path\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let corpus = match SavedCorpus::load(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = &corpus.config;
+    println!(
+        "corpus: seed {}, T = {}, horizon {} days, θ = {}, scenario {:?}",
+        cfg.seed, cfg.tenants, cfg.horizon_days, cfg.theta, cfg.scenario
+    );
+    println!("query events: {}", corpus.log.event_count());
+    let per_tenant: Vec<Vec<(u64, u64)>> = corpus
+        .log
+        .tenants
+        .iter()
+        .map(TenantLog::busy_intervals)
+        .collect();
+    let stats = activity_stats(&per_tenant, corpus.log.horizon_ms);
+    println!(
+        "time-averaged active ratio: {:.2}%, peak concurrent tenants: {}",
+        stats.average_active_ratio * 100.0,
+        stats.max_concurrent_active
+    );
+    let mut by_size: std::collections::BTreeMap<u32, usize> = Default::default();
+    for t in &corpus.log.tenants {
+        *by_size.entry(t.spec.nodes).or_default() += 1;
+    }
+    println!("tenant sizes:");
+    for (nodes, count) in by_size {
+        println!("  {nodes:>3}-node: {count}");
+    }
+    ExitCode::SUCCESS
+}

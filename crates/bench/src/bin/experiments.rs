@@ -1,0 +1,91 @@
+//! CLI driver: regenerate the paper's tables and figures.
+
+use std::process::ExitCode;
+use thrifty_bench::experiments::{self, ALL_IDS, CORPUS_IDS};
+use thrifty_bench::pipeline::{Harness, Scale};
+
+const USAGE: &str = "\
+usage: experiments [--full] [--seed N] <id>... | all | list
+
+ids: fig1.1a fig1.1b fig1.1c tab5.1 fig5.3 tab7.1
+     fig7.1 fig7.2 fig7.3 fig7.4 fig7.5 fig7.6 fig7.7
+     headline ablate
+
+--full    run at the paper's scale (T = 5000, 30-day logs, 100 trials)
+--seed N  workload generation seed (default 42)";
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Small;
+    let mut seed = 42u64;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "list" => {
+                for id in ALL_IDS.iter().chain(["headline", "ablate"].iter()) {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => {
+                ids.extend(ALL_IDS.iter().map(|s| s.to_string()));
+                ids.push("headline".into());
+                ids.push("ablate".into());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    ids.dedup();
+
+    // Build the (possibly expensive) corpus harness only if needed.
+    let needs_corpus = ids.iter().any(|id| CORPUS_IDS.contains(&id.as_str()));
+    eprintln!(
+        "# scale: {scale:?}, seed: {seed}{}",
+        if needs_corpus {
+            " — generating session library..."
+        } else {
+            ""
+        }
+    );
+    let started = std::time::Instant::now();
+    let harness = Harness::new(seed, scale);
+    if needs_corpus {
+        eprintln!("# session library ready in {:.1?}", started.elapsed());
+    }
+
+    let mut failed = false;
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        match experiments::run(id, &harness) {
+            Some(result) => {
+                println!("{result}");
+                eprintln!("# {id} finished in {:.1?}\n", t0.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}\n{USAGE}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,209 @@
+//! Figure 1.1 — the motivating measurements on a multi-tenant MPPDB.
+//!
+//! * **(a)** TPC-H Q1 speedup vs nodes for 1 tenant, and for 2/4 tenants
+//!   submitting sequentially (`xT-SEQ`) vs concurrently (`xT-CON`).
+//! * **(b)** Q1 latency: 4 tenants each owning a 2-node MPPDB (point A)
+//!   vs a shared 6-node MPPDB with 1–4 tenants concurrently active
+//!   (points B, C, E, F).
+//! * **(c)** TPC-H Q19 speedup: non-linear scale-out.
+
+use crate::report::{num, ExperimentResult, Table};
+use mppdb_sim::prelude::*;
+use thrifty_workload::templates::{tpch_q1, tpch_q19};
+
+/// Data per tenant in the Figure 1.1 setting: TPC-H scale factor 100.
+const DATA_GB: f64 = 100.0;
+
+/// Runs one shared instance with `tenants` tenants submitting one query
+/// each, either concurrently or sequentially, and returns the mean latency
+/// in ms.
+fn shared_latency_ms(
+    template: QueryTemplate,
+    nodes: usize,
+    tenants: u32,
+    concurrent: bool,
+) -> f64 {
+    let mut cluster = Cluster::new(ClusterConfig::with_instant_provisioning(nodes));
+    let datasets: Vec<(SimTenantId, f64)> =
+        (0..tenants).map(|i| (SimTenantId(i), DATA_GB)).collect();
+    let instance = cluster
+        .provision_instance(nodes, &datasets)
+        .expect("cluster sized for the instance");
+    let mut latencies = Vec::new();
+    for i in 0..tenants {
+        cluster
+            .submit(instance, QuerySpec::new(template, DATA_GB, SimTenantId(i)))
+            .expect("ready instance");
+        if !concurrent {
+            for e in cluster.run_to_quiescence() {
+                if let SimEvent::QueryCompleted(c) = e {
+                    latencies.push(c.latency.as_ms() as f64);
+                }
+            }
+        }
+    }
+    if concurrent {
+        for e in cluster.run_to_quiescence() {
+            if let SimEvent::QueryCompleted(c) = e {
+                latencies.push(c.latency.as_ms() as f64);
+            }
+        }
+    }
+    latencies.iter().sum::<f64>() / latencies.len() as f64
+}
+
+/// Speedup of the multi-tenant setting relative to single-tenant 1-node
+/// execution (the y-axis of Figures 1.1a/1.1c).
+fn speedup_vs_one_node(template: QueryTemplate, nodes: usize, tenants: u32, concurrent: bool) -> f64 {
+    let base = isolated_latency_ms(&template, DATA_GB, 1);
+    base / shared_latency_ms(template, nodes, tenants, concurrent)
+}
+
+/// Runs Figure 1.1a.
+pub fn fig_1_1a() -> ExperimentResult {
+    let q1 = tpch_q1();
+    let mut t = Table::new(
+        "Figure 1.1a — TPC-H Q1 speedup (vs 1 tenant on 1 node)",
+        &["nodes", "1T", "2T-SEQ", "2T-CON", "4T-SEQ", "4T-CON"],
+    );
+    for nodes in [1usize, 2, 4, 8] {
+        t.push_row(vec![
+            nodes.to_string(),
+            num(speedup_vs_one_node(q1, nodes, 1, false), 2),
+            num(speedup_vs_one_node(q1, nodes, 2, false), 2),
+            num(speedup_vs_one_node(q1, nodes, 2, true), 2),
+            num(speedup_vs_one_node(q1, nodes, 4, false), 2),
+            num(speedup_vs_one_node(q1, nodes, 4, true), 2),
+        ]);
+    }
+    ExperimentResult {
+        id: "fig1.1a".into(),
+        context: "shared-process multi-tenancy: sequential sharing is free, concurrency costs x-fold".into(),
+        tables: vec![t],
+    }
+}
+
+/// Runs Figure 1.1b.
+pub fn fig_1_1b() -> ExperimentResult {
+    let q1 = tpch_q1();
+    let dedicated_2node = isolated_latency_ms(&q1, DATA_GB, 2) / 1000.0;
+    let mut t = Table::new(
+        "Figure 1.1b — Q1 latency: 2-node dedicated vs 6-node shared",
+        &["setting", "active tenants", "latency (s)", "meets 2-node SLA"],
+    );
+    t.push_row(vec![
+        "A: 2-node dedicated".into(),
+        "1".into(),
+        num(dedicated_2node, 1),
+        "baseline".into(),
+    ]);
+    for (label, k) in [("B", 1u32), ("C", 2), ("E", 3), ("F", 4)] {
+        let lat = shared_latency_ms(q1, 6, k, true) / 1000.0;
+        t.push_row(vec![
+            format!("{label}: 6-node shared"),
+            k.to_string(),
+            num(lat, 1),
+            if lat <= dedicated_2node * 1.001 {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+        ]);
+    }
+    ExperimentResult {
+        id: "fig1.1b".into(),
+        context: "the second consolidation opportunity: a 6-node shared MPPDB absorbs up to 3 \
+                  concurrently active 2-node tenants for a linear query"
+            .into(),
+        tables: vec![t],
+    }
+}
+
+/// Runs Figure 1.1c.
+pub fn fig_1_1c() -> ExperimentResult {
+    let q19 = tpch_q19();
+    let mut t = Table::new(
+        "Figure 1.1c — TPC-H Q19 speedup (non-linear scale-out)",
+        &["nodes", "1T", "2T-CON"],
+    );
+    for nodes in [1usize, 2, 4, 8] {
+        t.push_row(vec![
+            nodes.to_string(),
+            num(speedup_vs_one_node(q19, nodes, 1, false), 2),
+            num(speedup_vs_one_node(q19, nodes, 2, true), 2),
+        ]);
+    }
+    ExperimentResult {
+        id: "fig1.1c".into(),
+        context: "Q19 saturates (Amdahl serial fraction), so over-parallelism cannot pay for \
+                  concurrency — the second opportunity does not apply"
+            .into(),
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q1_scales_linearly_single_tenant() {
+        let q1 = tpch_q1();
+        for nodes in [1usize, 2, 4, 8] {
+            let s = speedup_vs_one_node(q1, nodes, 1, false);
+            // Millisecond rounding bounds the relative error.
+            assert!((s - nodes as f64).abs() / (nodes as f64) < 0.01, "{nodes} nodes: {s}");
+        }
+    }
+
+    #[test]
+    fn sequential_tenants_match_single_tenant() {
+        // The xT-SEQ observation: sequential sharing adds no slowdown.
+        let q1 = tpch_q1();
+        for tenants in [2u32, 4] {
+            let seq = speedup_vs_one_node(q1, 4, tenants, false);
+            let solo = speedup_vs_one_node(q1, 4, 1, false);
+            assert!((seq - solo).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn concurrent_tenants_divide_the_speedup() {
+        // The xT-CON observation: x concurrent tenants run x-fold slower.
+        let q1 = tpch_q1();
+        let s2 = speedup_vs_one_node(q1, 4, 2, true);
+        let s4 = speedup_vs_one_node(q1, 4, 4, true);
+        assert!((s2 - 2.0).abs() < 0.05, "2T-CON on 4 nodes: {s2}");
+        assert!((s4 - 1.0).abs() < 0.05, "4T-CON on 4 nodes: {s4}");
+    }
+
+    #[test]
+    fn six_node_shared_absorbs_three_active_2node_tenants() {
+        // Figure 1.1b points B and C: the shared 6-node MPPDB meets the
+        // 2-node dedicated SLA with up to 3 concurrently active tenants for
+        // the linear Q1 (6 nodes / 2 = 3x parallelism headroom).
+        let q1 = tpch_q1();
+        let sla = isolated_latency_ms(&q1, DATA_GB, 2);
+        for k in 1..=3u32 {
+            let lat = shared_latency_ms(q1, 6, k, true);
+            assert!(lat <= sla * 1.001, "{k} active: {lat} vs {sla}");
+        }
+        let lat4 = shared_latency_ms(q1, 6, 4, true);
+        assert!(lat4 > sla * 1.2, "4 active must violate: {lat4} vs {sla}");
+    }
+
+    #[test]
+    fn q19_speedup_saturates() {
+        let q19 = tpch_q19();
+        let s8 = speedup_vs_one_node(q19, 8, 1, false);
+        assert!(s8 < 8.0 * 0.5, "Q19 at 8 nodes must be far from linear: {s8}");
+    }
+
+    #[test]
+    fn experiments_render() {
+        for r in [fig_1_1a(), fig_1_1b(), fig_1_1c()] {
+            let s = r.to_string();
+            assert!(s.contains(&r.id));
+        }
+    }
+}

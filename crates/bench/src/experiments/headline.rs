@@ -1,0 +1,126 @@
+//! The headline result (Abstract / Chapter 1): serve all tenants with a
+//! 99.9% performance SLA guarantee and replication factor 3 using ~18.7% of
+//! the requested nodes.
+
+use crate::pipeline::{compare_algorithms, defaults, Harness};
+use crate::report::{num, pct, ExperimentResult, Table};
+
+/// Runs the headline consolidation.
+pub fn headline(harness: &Harness) -> ExperimentResult {
+    let corpus = harness.default_histories();
+    let point = compare_algorithms(
+        &corpus,
+        "default",
+        defaults::EPOCH_MS,
+        defaults::REPLICATION,
+        defaults::SLA_P,
+    );
+    // The paper picked E = 10 s because that was the plateau for *its*
+    // query durations (tens of seconds to minutes). Our calibrated corpus
+    // has ~10x shorter queries, so the equivalent duration-matched epoch is
+    // ~1 s; report that operating point too (see EXPERIMENTS.md).
+    let matched = compare_algorithms(
+        &corpus,
+        "matched-epoch",
+        1_000,
+        defaults::REPLICATION,
+        defaults::SLA_P,
+    );
+    let mut t = Table::new(
+        "Headline — default consolidation (R=3, P=99.9%, E=10s)",
+        &["metric", "FFD", "2-step", "paper (2-step)"],
+    );
+    t.push_row(vec![
+        "tenants".into(),
+        corpus.cfg.tenants.to_string(),
+        corpus.cfg.tenants.to_string(),
+        "5000".into(),
+    ]);
+    t.push_row(vec![
+        "nodes requested".into(),
+        point.ffd.nodes_requested.to_string(),
+        point.two_step.nodes_requested.to_string(),
+        "-".into(),
+    ]);
+    t.push_row(vec![
+        "nodes used".into(),
+        point.ffd.nodes_used.to_string(),
+        point.two_step.nodes_used.to_string(),
+        "-".into(),
+    ]);
+    t.push_row(vec![
+        "fraction of requested nodes used".into(),
+        pct(point.ffd.nodes_used as f64 / point.ffd.nodes_requested as f64),
+        pct(point.two_step.nodes_used as f64 / point.two_step.nodes_requested as f64),
+        "18.7%".into(),
+    ]);
+    t.push_row(vec![
+        "nodes saved".into(),
+        pct(point.ffd.effectiveness),
+        pct(point.two_step.effectiveness),
+        "81.3%".into(),
+    ]);
+    t.push_row(vec![
+        "tenant-groups".into(),
+        point.ffd.groups.to_string(),
+        point.two_step.groups.to_string(),
+        "-".into(),
+    ]);
+    t.push_row(vec![
+        "avg group size".into(),
+        num(point.ffd.average_group_size, 1),
+        num(point.two_step.average_group_size, 1),
+        "~15".into(),
+    ]);
+    t.push_row(vec![
+        "nodes saved @ duration-matched epoch (E=1s)".into(),
+        pct(matched.ffd.effectiveness),
+        pct(matched.two_step.effectiveness),
+        "81.3% @ E=10s".into(),
+    ]);
+    t.push_row(vec![
+        "avg group size @ E=1s".into(),
+        num(matched.ffd.average_group_size, 1),
+        num(matched.two_step.average_group_size, 1),
+        "~15".into(),
+    ]);
+    ExperimentResult {
+        id: "headline".into(),
+        context: format!(
+            "active ratio {:.1}% (paper: 11.9%)",
+            corpus.average_active_ratio() * 100.0
+        ),
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thrifty_workload::prelude::GenerationConfig;
+
+    #[test]
+    fn headline_lands_in_the_paper_band() {
+        let mut cfg = GenerationConfig::small(31, 200);
+        cfg.session_trials = 8;
+        let h = Harness::from_config(cfg);
+        let corpus = h.default_histories();
+        let point = compare_algorithms(
+            &corpus,
+            "default",
+            defaults::EPOCH_MS,
+            defaults::REPLICATION,
+            defaults::SLA_P,
+        );
+        // The paper's usual-settings band is 73.1–86.5% saved; effectiveness
+        // grows with tenant count (more grouping choices), so this tiny
+        // 200-tenant unit-test corpus sits below it. The integration tests
+        // and the harness check the regime at the real scales.
+        assert!(
+            (0.40..=0.95).contains(&point.two_step.effectiveness),
+            "2-step saved {:.1}%",
+            point.two_step.effectiveness * 100.0
+        );
+        assert!(point.two_step.nodes_used <= point.ffd.nodes_used);
+    }
+}

@@ -1,0 +1,40 @@
+//! Table 7.1 — the evaluation parameter grid, reproduced as the harness's
+//! own configuration (defaults in **bold** in the paper; marked with `*`
+//! here).
+
+use crate::report::{ExperimentResult, Table};
+
+/// Prints the parameter grid.
+pub fn tab_7_1() -> ExperimentResult {
+    let mut t = Table::new("Table 7.1 — evaluation parameters", &["parameter", "range"]);
+    t.push_row(vec![
+        "epoch size E".into(),
+        "0.1s, 1s, 10s*, 30s, 90s, 600s, 1800s".into(),
+    ]);
+    t.push_row(vec![
+        "number of tenants T".into(),
+        "1000, 5000*, 10000 (small scale: 100, 400*, 1000)".into(),
+    ]);
+    t.push_row(vec![
+        "tenant distribution θ".into(),
+        "0.1, 0.2, 0.5, 0.8*, 0.99".into(),
+    ]);
+    t.push_row(vec!["replication factor R".into(), "1, 2, 3*, 4".into()]);
+    t.push_row(vec![
+        "performance SLA P".into(),
+        "95%, 99%, 99.9%*, 99.99%".into(),
+    ]);
+    ExperimentResult {
+        id: "tab7.1".into(),
+        context: "the sweep grid driven by `experiments fig7.1 .. fig7.5` (* = default)".into(),
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn grid_has_five_parameters() {
+        assert_eq!(super::tab_7_1().tables[0].rows.len(), 5);
+    }
+}

@@ -1,0 +1,23 @@
+//! # thrifty-bench — experiment harness for the Thrifty reproduction
+//!
+//! Regenerates every table and figure of *Parallel Analytics as a Service*
+//! (SIGMOD 2013). Run via the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p thrifty-bench --bin experiments -- all
+//! cargo run --release -p thrifty-bench --bin experiments -- fig7.1 fig7.4
+//! cargo run --release -p thrifty-bench --bin experiments -- --full headline
+//! cargo run --release -p thrifty-bench --bin experiments -- --seed 7 fig7.6
+//! ```
+//!
+//! The default scale is reduced (fast; same statistical structure); `--full`
+//! switches to the paper's Table 7.1 scale. See DESIGN.md §4 for the
+//! experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+//! results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod pipeline;
+pub mod report;

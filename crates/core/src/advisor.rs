@@ -1,0 +1,257 @@
+//! The Deployment Advisor (Chapter 3, component b).
+//!
+//! Takes tenant activity histories plus the administrator's replication
+//! factor `R` and performance SLA guarantee `P`, and returns a deployment
+//! plan (cluster design + tenant placement). Tenants that offer no room for
+//! consolidation — always active, or holding more data than the service
+//! plan covers — are detected and excluded up front (Chapter 3 footnote:
+//! they are served by dedicated nodes under another service plan).
+
+use crate::activity::{ActivityVector, EpochConfig};
+use crate::bursts::{BurstDetector, RecurringBurst};
+use crate::design::DeploymentPlan;
+use crate::grouping::{
+    exact_grouping, ffd_grouping, two_step_grouping_with, GroupingProblem, GroupingSolution,
+    TwoStepConfig,
+};
+use crate::metrics::ConsolidationReport;
+use crate::tenant::Tenant;
+use std::time::Instant;
+
+/// Which grouping algorithm the advisor runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum GroupingAlgorithm {
+    /// The paper's 2-step heuristic (Algorithm 2) — the default.
+    #[default]
+    TwoStep,
+    /// The 2-step heuristic with explicit configuration (ablations).
+    TwoStepWith(TwoStepConfig),
+    /// The First-Fit-Decreasing baseline.
+    Ffd,
+    /// The exact branch-and-bound reference (toy instances only).
+    Exact,
+}
+
+impl GroupingAlgorithm {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GroupingAlgorithm::TwoStep => "2-step",
+            GroupingAlgorithm::TwoStepWith(_) => "2-step (configured)",
+            GroupingAlgorithm::Ffd => "FFD",
+            GroupingAlgorithm::Exact => "exact",
+        }
+    }
+}
+
+/// Rules for excluding tenants from consolidation.
+#[derive(Clone, Copy, Debug)]
+pub struct ExclusionPolicy {
+    /// Tenants active in more than this fraction of epochs are excluded
+    /// ("tenants that are always active").
+    pub max_active_ratio: f64,
+    /// Tenants with more data than this are excluded ("more than terabytes
+    /// of data"). The default, 20 TB, admits the paper's largest tenants
+    /// (3.2 TB) comfortably.
+    pub max_data_gb: f64,
+    /// When `Some`, tenants whose history shows *recurring* bursts are
+    /// excluded from consolidation before the next predicted burst arrives
+    /// (Chapter 5.1: "tenants with regular bursts ... would be excluded
+    /// from consolidation before the bursts arrive").
+    pub burst_detector: Option<BurstDetector>,
+}
+
+impl Default for ExclusionPolicy {
+    fn default() -> Self {
+        ExclusionPolicy {
+            max_active_ratio: 0.9,
+            max_data_gb: 20_000.0,
+            burst_detector: None,
+        }
+    }
+}
+
+/// Advisor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AdvisorConfig {
+    /// Replication factor `R` (high availability; Table 7.1 default 3).
+    pub replication: u32,
+    /// Performance SLA guarantee `P` as a fraction (default 0.999).
+    pub sla_p: f64,
+    /// Epoch discretization of tenant histories.
+    pub epoch: EpochConfig,
+    /// Grouping algorithm.
+    pub algorithm: GroupingAlgorithm,
+    /// Exclusion rules.
+    pub exclusion: ExclusionPolicy,
+}
+
+impl AdvisorConfig {
+    /// The Table 7.1 default configuration: `R = 3`, `P = 99.9%`, 10 s
+    /// epochs, 2-step grouping.
+    pub fn paper_default(horizon_ms: u64) -> Self {
+        AdvisorConfig {
+            replication: 3,
+            sla_p: 0.999,
+            epoch: EpochConfig::new(10_000, horizon_ms),
+            algorithm: GroupingAlgorithm::TwoStep,
+            exclusion: ExclusionPolicy::default(),
+        }
+    }
+}
+
+/// The advisor's output: a deployment plan plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Advice {
+    /// The deployment plan for the consolidated tenants.
+    pub plan: DeploymentPlan,
+    /// The underlying grouping problem (consolidated tenants only).
+    pub problem: GroupingProblem,
+    /// The grouping solution.
+    pub solution: GroupingSolution,
+    /// Tenants excluded from consolidation.
+    pub excluded: Vec<Tenant>,
+    /// Tenants excluded because of recurring bursts, with the detected
+    /// series (subset of `excluded`; empty when burst exclusion is off).
+    pub burst_excluded: Vec<(Tenant, RecurringBurst)>,
+    /// Consolidation report (requested vs used, group sizes, runtime).
+    pub report: ConsolidationReport,
+}
+
+/// The Deployment Advisor.
+#[derive(Clone, Copy, Debug)]
+pub struct DeploymentAdvisor {
+    config: AdvisorConfig,
+}
+
+impl DeploymentAdvisor {
+    /// Creates an advisor.
+    pub fn new(config: AdvisorConfig) -> Self {
+        DeploymentAdvisor { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    /// Produces a deployment plan from `(tenant, merged busy intervals)`
+    /// histories.
+    pub fn advise(&self, histories: &[(Tenant, Vec<(u64, u64)>)]) -> Advice {
+        let cfg = &self.config;
+        let mut tenants = Vec::new();
+        let mut activities = Vec::new();
+        let mut excluded = Vec::new();
+        let mut burst_excluded = Vec::new();
+        for (tenant, intervals) in histories {
+            let v = ActivityVector::from_intervals(intervals, cfg.epoch);
+            if v.active_ratio() > cfg.exclusion.max_active_ratio
+                || tenant.data_gb > cfg.exclusion.max_data_gb
+            {
+                excluded.push(*tenant);
+                continue;
+            }
+            if let Some(detector) = &cfg.exclusion.burst_detector {
+                if let Some(series) = detector.recurring(intervals, cfg.epoch.horizon_ms) {
+                    excluded.push(*tenant);
+                    burst_excluded.push((*tenant, series));
+                    continue;
+                }
+            }
+            tenants.push(*tenant);
+            activities.push(v);
+        }
+        let problem = GroupingProblem::new(tenants, activities, cfg.replication, cfg.sla_p);
+        let started = Instant::now();
+        let solution = match cfg.algorithm {
+            GroupingAlgorithm::TwoStep => {
+                two_step_grouping_with(&problem, TwoStepConfig::default())
+            }
+            GroupingAlgorithm::TwoStepWith(c) => two_step_grouping_with(&problem, c),
+            GroupingAlgorithm::Ffd => ffd_grouping(&problem),
+            GroupingAlgorithm::Exact => exact_grouping(&problem),
+        };
+        let runtime = started.elapsed();
+        let plan = DeploymentPlan::from_grouping(&problem, &solution);
+        let report = ConsolidationReport::new(cfg.algorithm.name(), &problem, &solution, runtime);
+        Advice {
+            plan,
+            problem,
+            solution,
+            excluded,
+            burst_excluded,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantId;
+
+    fn histories() -> Vec<(Tenant, Vec<(u64, u64)>)> {
+        // Horizon 100 ms, epochs of 10 ms.
+        vec![
+            // Bursty tenant, active in 2 epochs.
+            (Tenant::new(TenantId(0), 4, 400.0), vec![(0, 15)]),
+            // Disjointly bursty tenant.
+            (Tenant::new(TenantId(1), 4, 400.0), vec![(50, 70)]),
+            // Always-active tenant: must be excluded.
+            (Tenant::new(TenantId(2), 4, 400.0), vec![(0, 100)]),
+            // Over-sized tenant: must be excluded.
+            (Tenant::new(TenantId(3), 4, 40_000.0), vec![(30, 40)]),
+        ]
+    }
+
+    fn config() -> AdvisorConfig {
+        AdvisorConfig {
+            replication: 2,
+            sla_p: 0.999,
+            epoch: EpochConfig::new(10, 100),
+            algorithm: GroupingAlgorithm::TwoStep,
+            exclusion: ExclusionPolicy::default(),
+        }
+    }
+
+    #[test]
+    fn advisor_excludes_hopeless_tenants() {
+        let advice = DeploymentAdvisor::new(config()).advise(&histories());
+        let excluded_ids: Vec<u32> = advice.excluded.iter().map(|t| t.id.0).collect();
+        assert_eq!(excluded_ids, vec![2, 3]);
+        assert_eq!(advice.plan.tenant_count(), 2);
+    }
+
+    #[test]
+    fn advisor_consolidates_disjoint_tenants() {
+        let advice = DeploymentAdvisor::new(config()).advise(&histories());
+        // The two bursty tenants never overlap -> one group, R = 2 replicas
+        // of a 4-node MPPDB = 8 nodes for 8 requested.
+        assert_eq!(advice.plan.groups.len(), 1);
+        assert_eq!(advice.plan.nodes_used(), 8);
+        assert_eq!(advice.report.groups, 1);
+        advice.solution.validate(&advice.problem).unwrap();
+    }
+
+    #[test]
+    fn algorithm_switch_changes_the_solver() {
+        let mut cfg = config();
+        cfg.algorithm = GroupingAlgorithm::Ffd;
+        let advice = DeploymentAdvisor::new(cfg).advise(&histories());
+        assert_eq!(advice.report.algorithm, "FFD");
+        advice.solution.validate(&advice.problem).unwrap();
+
+        cfg.algorithm = GroupingAlgorithm::Exact;
+        let advice = DeploymentAdvisor::new(cfg).advise(&histories());
+        assert_eq!(advice.report.algorithm, "exact");
+        advice.solution.validate(&advice.problem).unwrap();
+    }
+
+    #[test]
+    fn paper_default_config() {
+        let cfg = AdvisorConfig::paper_default(86_400_000);
+        assert_eq!(cfg.replication, 3);
+        assert!((cfg.sla_p - 0.999).abs() < 1e-12);
+        assert_eq!(cfg.epoch.epoch_ms, 10_000);
+    }
+}

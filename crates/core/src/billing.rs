@@ -1,0 +1,252 @@
+//! The Thrifty pricing model (Chapter 3).
+//!
+//! "Thrifty adopts a pricing model that charges a tenant based on the number
+//! of requested nodes (the degree of parallelism) and its active usage."
+//! This module meters both: per tenant, the requested parallelism (a flat
+//! subscription component) and the accumulated *active time* — the spans
+//! during which the tenant had at least one query executing (the same strong
+//! notion of activity the router and monitor use). Combined with the
+//! consolidation report, it also answers the provider-side question: what
+//! margin does consolidation create over dedicated hardware?
+
+use crate::tenant::{Tenant, TenantId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tariff parameters. Currency units are abstract ("credits").
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Tariff {
+    /// Subscription price per requested node per (billing) day — covers the
+    /// MPPDB software license amortization the paper's introduction cites
+    /// (USD 15k/core or USD 50k/TB for the commercial product).
+    pub node_day_price: f64,
+    /// Usage price per node-second of *active* time (queries executing).
+    pub active_node_second_price: f64,
+}
+
+impl Default for Tariff {
+    fn default() -> Self {
+        Tariff {
+            node_day_price: 10.0,
+            active_node_second_price: 0.001,
+        }
+    }
+}
+
+/// Accumulated billing state for one tenant.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct TenantUsage {
+    /// Total milliseconds with at least one query executing.
+    active_ms: u64,
+    /// Number of queries completed.
+    queries: u64,
+    /// Currently running query count and the instant the tenant became
+    /// active (for open-interval accounting).
+    running: u32,
+    active_since: u64,
+}
+
+/// Meters per-tenant activity and produces invoices.
+///
+/// Feed it the same query start/finish stream the monitor sees; activity is
+/// counted once per tenant regardless of intra-tenant concurrency (a batch
+/// of ten concurrent queries bills the same wall-span as one query covering
+/// it — the tenant pays for *being active*, its MPL is its own business,
+/// exactly mirroring the paper's load-balancing stance).
+#[derive(Clone, Debug, Default)]
+pub struct UsageMeter {
+    usage: HashMap<TenantId, TenantUsage>,
+}
+
+impl UsageMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        UsageMeter::default()
+    }
+
+    /// Records a query start for `tenant` at `now_ms`.
+    pub fn on_query_start(&mut self, tenant: TenantId, now_ms: u64) {
+        let u = self.usage.entry(tenant).or_default();
+        if u.running == 0 {
+            u.active_since = now_ms;
+        }
+        u.running += 1;
+    }
+
+    /// Records a query completion for `tenant` at `now_ms`.
+    ///
+    /// # Panics
+    /// Panics if the tenant has no running query.
+    pub fn on_query_finish(&mut self, tenant: TenantId, now_ms: u64) {
+        let u = self
+            .usage
+            .get_mut(&tenant)
+            .unwrap_or_else(|| panic!("tenant {tenant} has no running query to finish"));
+        assert!(u.running > 0, "tenant {tenant} has no running query to finish");
+        u.running -= 1;
+        u.queries += 1;
+        if u.running == 0 {
+            u.active_ms += now_ms.saturating_sub(u.active_since);
+        }
+    }
+
+    /// Total active milliseconds accumulated for a tenant (closed intervals
+    /// only; an open interval is counted when it closes).
+    pub fn active_ms(&self, tenant: TenantId) -> u64 {
+        self.usage.get(&tenant).map_or(0, |u| u.active_ms)
+    }
+
+    /// Completed query count for a tenant.
+    pub fn query_count(&self, tenant: TenantId) -> u64 {
+        self.usage.get(&tenant).map_or(0, |u| u.queries)
+    }
+
+    /// Every metered tenant's total active milliseconds, sorted by tenant
+    /// id. Open activity intervals are not included (they are counted when
+    /// they close).
+    pub fn all_active_ms(&self) -> Vec<(TenantId, u64)> {
+        let mut out: Vec<(TenantId, u64)> =
+            self.usage.iter().map(|(&t, u)| (t, u.active_ms)).collect();
+        out.sort_unstable_by_key(|&(t, _)| t);
+        out
+    }
+
+    /// Produces the invoice for a tenant over `billing_days` days.
+    pub fn invoice(&self, tenant: &Tenant, tariff: &Tariff, billing_days: f64) -> Invoice {
+        let active_ms = self.active_ms(tenant.id);
+        let subscription = tariff.node_day_price * f64::from(tenant.nodes) * billing_days;
+        let usage = tariff.active_node_second_price
+            * f64::from(tenant.nodes)
+            * (active_ms as f64 / 1000.0);
+        Invoice {
+            tenant: tenant.id,
+            requested_nodes: tenant.nodes,
+            active_ms,
+            queries: self.query_count(tenant.id),
+            subscription,
+            usage,
+        }
+    }
+}
+
+/// One tenant's bill.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Invoice {
+    /// The billed tenant.
+    pub tenant: TenantId,
+    /// Requested parallelism (the subscription driver).
+    pub requested_nodes: u32,
+    /// Metered active time in ms (the usage driver).
+    pub active_ms: u64,
+    /// Completed queries in the period.
+    pub queries: u64,
+    /// Subscription component in credits.
+    pub subscription: f64,
+    /// Usage component in credits.
+    pub usage: f64,
+}
+
+impl Invoice {
+    /// Total credits due.
+    pub fn total(&self) -> f64 {
+        self.subscription + self.usage
+    }
+}
+
+/// Provider-side economics of a consolidated deployment.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ProviderEconomics {
+    /// Revenue: sum of tenant invoices (credits).
+    pub revenue: f64,
+    /// Cost of running the consolidated cluster (credits; nodes actually
+    /// powered × node-day cost × days).
+    pub consolidated_cost: f64,
+    /// What the same tenants would cost on dedicated clusters.
+    pub dedicated_cost: f64,
+}
+
+impl ProviderEconomics {
+    /// Computes the provider's picture for a deployment.
+    pub fn compute(
+        invoices: &[Invoice],
+        nodes_used: u64,
+        nodes_requested: u64,
+        node_day_cost: f64,
+        billing_days: f64,
+    ) -> Self {
+        ProviderEconomics {
+            revenue: invoices.iter().map(Invoice::total).sum(),
+            consolidated_cost: nodes_used as f64 * node_day_cost * billing_days,
+            dedicated_cost: nodes_requested as f64 * node_day_cost * billing_days,
+        }
+    }
+
+    /// The margin consolidation creates versus running dedicated clusters
+    /// at the same revenue.
+    pub fn consolidation_gain(&self) -> f64 {
+        self.dedicated_cost - self.consolidated_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: TenantId = TenantId(0);
+
+    #[test]
+    fn activity_is_metered_per_tenant_not_per_query() {
+        let mut m = UsageMeter::new();
+        // Two overlapping queries: active span is their union.
+        m.on_query_start(T0, 0);
+        m.on_query_start(T0, 500);
+        m.on_query_finish(T0, 800);
+        m.on_query_finish(T0, 1_000);
+        assert_eq!(m.active_ms(T0), 1_000);
+        assert_eq!(m.query_count(T0), 2);
+        // A later, disjoint query adds its own span.
+        m.on_query_start(T0, 5_000);
+        m.on_query_finish(T0, 5_400);
+        assert_eq!(m.active_ms(T0), 1_400);
+    }
+
+    #[test]
+    fn invoice_combines_subscription_and_usage() {
+        let mut m = UsageMeter::new();
+        m.on_query_start(T0, 0);
+        m.on_query_finish(T0, 10_000); // 10 s active
+        let tenant = Tenant::new(T0, 4, 400.0);
+        let invoice = m.invoice(&tenant, &Tariff::default(), 30.0);
+        // Subscription: 10 credits/node/day * 4 nodes * 30 days = 1200.
+        assert!((invoice.subscription - 1_200.0).abs() < 1e-9);
+        // Usage: 0.001 * 4 nodes * 10 s = 0.04.
+        assert!((invoice.usage - 0.04).abs() < 1e-9);
+        assert!((invoice.total() - 1_200.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_tenant_pays_subscription_only() {
+        let m = UsageMeter::new();
+        let tenant = Tenant::new(T0, 2, 200.0);
+        let invoice = m.invoice(&tenant, &Tariff::default(), 30.0);
+        assert_eq!(invoice.active_ms, 0);
+        assert!((invoice.usage - 0.0).abs() < 1e-12);
+        assert!(invoice.subscription > 0.0);
+    }
+
+    #[test]
+    fn provider_economics_reflect_consolidation() {
+        let invoices = vec![];
+        let econ = ProviderEconomics::compute(&invoices, 2_000, 10_000, 5.0, 30.0);
+        assert!((econ.consolidated_cost - 300_000.0).abs() < 1e-9);
+        assert!((econ.dedicated_cost - 1_500_000.0).abs() < 1e-9);
+        assert!((econ.consolidation_gain() - 1_200_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no running query")]
+    fn unbalanced_finish_panics() {
+        let mut m = UsageMeter::new();
+        m.on_query_finish(T0, 10);
+    }
+}

@@ -1,0 +1,212 @@
+//! The Tenant-Driven Design: cluster design and tenant placement
+//! (Chapters 4.1–4.2) materialized as a deployment plan (Chapter 3).
+//!
+//! For each tenant-group the TDD creates `A` MPPDBs: group `G_0` — the
+//! "tuning MPPDB" — gets `U ≥ n_1` nodes (where `n_1` is the largest
+//! member's request), every other group gets exactly `n_1` nodes. Every
+//! member tenant is placed on **all** `A` MPPDBs, which yields a
+//! replication factor of `A` (Property 1). After tenant grouping, `A = R`.
+
+use crate::grouping::{GroupingProblem, GroupingSolution};
+use crate::tenant::Tenant;
+use serde::{Deserialize, Serialize};
+
+/// The deployment plan for one tenant-group: its members and the node sizes
+/// of the `A` MPPDB instances that will serve it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantGroupPlan {
+    /// The member tenants.
+    pub members: Vec<Tenant>,
+    /// Node count of each MPPDB instance. `mppdb_nodes[0]` is the tuning
+    /// MPPDB (`U` nodes); the rest have `n_1` nodes each. Length = `A`.
+    pub mppdb_nodes: Vec<u32>,
+}
+
+impl TenantGroupPlan {
+    /// Builds the plan for a member set with replication `a` and tuning
+    /// size `u`.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty, `a == 0`, or `u` is smaller than the
+    /// largest member's request (the TDD requires `U ≥ n_1`).
+    pub fn new(members: Vec<Tenant>, a: u32, u: u32) -> Self {
+        assert!(!members.is_empty(), "a tenant-group needs members");
+        assert!(a >= 1, "replication factor must be at least 1");
+        let n1 = members.iter().map(|t| t.nodes).max().expect("non-empty");
+        assert!(
+            u >= n1,
+            "tuning MPPDB must have at least n_1 = {n1} nodes, got {u}"
+        );
+        let mut mppdb_nodes = vec![n1; a as usize];
+        mppdb_nodes[0] = u;
+        TenantGroupPlan {
+            members,
+            mppdb_nodes,
+        }
+    }
+
+    /// The replication factor `A` of this group (Property 1).
+    pub fn replication(&self) -> u32 {
+        self.mppdb_nodes.len() as u32
+    }
+
+    /// The largest member's node request, `n_1`.
+    pub fn largest_request(&self) -> u32 {
+        self.members.iter().map(|t| t.nodes).max().expect("non-empty")
+    }
+
+    /// Nodes of the tuning MPPDB (`U`).
+    pub fn tuning_nodes(&self) -> u32 {
+        self.mppdb_nodes[0]
+    }
+
+    /// Manual tuning (Chapter 6): grow the tuning MPPDB to `u` nodes so
+    /// overflow queries concurrently processed on MPPDB_0 still meet their
+    /// SLA empirically.
+    ///
+    /// # Panics
+    /// Panics if `u < n_1`.
+    pub fn set_tuning_nodes(&mut self, u: u32) {
+        assert!(
+            u >= self.largest_request(),
+            "tuning MPPDB must keep at least n_1 nodes"
+        );
+        self.mppdb_nodes[0] = u;
+    }
+
+    /// Total nodes this group consumes.
+    pub fn nodes_used(&self) -> u64 {
+        self.mppdb_nodes.iter().map(|&n| u64::from(n)).sum()
+    }
+
+    /// Total nodes the members requested (their pre-consolidation cost).
+    pub fn nodes_requested(&self) -> u64 {
+        self.members.iter().map(|t| u64::from(t.nodes)).sum()
+    }
+
+    /// Total data volume of the group in GB — what each of the `A` MPPDBs
+    /// must bulk load.
+    pub fn total_data_gb(&self) -> f64 {
+        self.members.iter().map(|t| t.data_gb).sum()
+    }
+}
+
+/// A full deployment plan: every tenant-group's cluster design and (implied
+/// by Property 1) tenant placement.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeploymentPlan {
+    /// Per-group plans.
+    pub groups: Vec<TenantGroupPlan>,
+}
+
+impl DeploymentPlan {
+    /// Materializes a grouping solution into a deployment plan with
+    /// `A = R` and `U = n_1` (the defaults of Chapters 5–6).
+    pub fn from_grouping(problem: &GroupingProblem, solution: &GroupingSolution) -> Self {
+        let groups = solution
+            .groups
+            .iter()
+            .map(|g| {
+                let members: Vec<Tenant> =
+                    g.members.iter().map(|&i| problem.tenants[i]).collect();
+                let n1 = members.iter().map(|t| t.nodes).max().expect("non-empty");
+                TenantGroupPlan::new(members, problem.replication, n1)
+            })
+            .collect();
+        DeploymentPlan { groups }
+    }
+
+    /// Total nodes the plan uses.
+    pub fn nodes_used(&self) -> u64 {
+        self.groups.iter().map(TenantGroupPlan::nodes_used).sum()
+    }
+
+    /// Total nodes requested by all tenants before consolidation.
+    pub fn nodes_requested(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(TenantGroupPlan::nodes_requested)
+            .sum()
+    }
+
+    /// Consolidation effectiveness: fraction of requested nodes saved.
+    pub fn effectiveness(&self) -> f64 {
+        let req = self.nodes_requested();
+        if req == 0 {
+            return 0.0;
+        }
+        1.0 - self.nodes_used() as f64 / req as f64
+    }
+
+    /// Number of tenants across all groups.
+    pub fn tenant_count(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).sum()
+    }
+
+    /// Number of MPPDB instances the plan creates.
+    pub fn instance_count(&self) -> usize {
+        self.groups.iter().map(|g| g.mppdb_nodes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantId;
+
+    fn tenants(sizes: &[u32]) -> Vec<Tenant> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Tenant::new(TenantId(i as u32), n, 100.0 * n as f64))
+            .collect()
+    }
+
+    #[test]
+    fn toy_example_of_figure_4_1() {
+        // Ten tenants requesting 6,6,5,5,5,4,4,3,2,2 nodes (42 total) in a
+        // single tenant-group with A = 3 and U = n_1 = 6 gives the 18-node
+        // cluster design of Figure 4.1b.
+        let plan = TenantGroupPlan::new(tenants(&[6, 6, 5, 5, 5, 4, 4, 3, 2, 2]), 3, 6);
+        assert_eq!(plan.nodes_requested(), 42);
+        assert_eq!(plan.nodes_used(), 18);
+        assert_eq!(plan.mppdb_nodes, vec![6, 6, 6]);
+        assert_eq!(plan.replication(), 3); // Property 1
+    }
+
+    #[test]
+    fn tuning_mppdb_can_be_grown() {
+        let mut plan = TenantGroupPlan::new(tenants(&[10, 4]), 3, 10);
+        assert_eq!(plan.nodes_used(), 30);
+        plan.set_tuning_nodes(12); // the Chapter 6 example: U 10 -> 12
+        assert_eq!(plan.mppdb_nodes, vec![12, 10, 10]);
+        assert_eq!(plan.nodes_used(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least n_1")]
+    fn tuning_mppdb_cannot_shrink_below_n1() {
+        let mut plan = TenantGroupPlan::new(tenants(&[10, 4]), 3, 10);
+        plan.set_tuning_nodes(8);
+    }
+
+    #[test]
+    fn plan_aggregates() {
+        let plan = DeploymentPlan {
+            groups: vec![
+                TenantGroupPlan::new(tenants(&[6, 6]), 3, 6),
+                TenantGroupPlan::new(tenants(&[2, 2, 2]), 3, 2),
+            ],
+        };
+        assert_eq!(plan.nodes_used(), 18 + 6);
+        assert_eq!(plan.nodes_requested(), 12 + 6);
+        assert_eq!(plan.tenant_count(), 5);
+        assert_eq!(plan.instance_count(), 6);
+    }
+
+    #[test]
+    fn group_data_volume_sums_members() {
+        let plan = TenantGroupPlan::new(tenants(&[2, 4]), 2, 4);
+        assert!((plan.total_data_gb() - 600.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! The tenant-driven *divergent* design (Chapter 8, future work).
+//!
+//! Thrifty's general design must survive ad-hoc queries (requirement R5),
+//! so it can only react to overload. For the restricted tenant class that
+//! runs **report-generation applications only** — whose query templates are
+//! known up front (extractable from stored procedures) — the paper sketches
+//! a specialized design: provision the tuning MPPDB with `U > n_1` nodes
+//! *upfront*, sized so that `MPPDB_0` can concurrently process the overflow
+//! of several active tenants without SLA violations. The crux is
+//! "identifying the minimum value of U that can afford different degrees of
+//! concurrent query processing on MPPDB_0".
+//!
+//! This module implements that sizing: given the class's template set and
+//! the target overflow degree, it computes the minimal `U` under the
+//! processor-sharing cost model and derives the divergent group plan. The
+//! non-linear scale-out problem the paper warns about shows up exactly as
+//! expected: templates with a large Amdahl serial fraction make `U`
+//! unbounded, and such templates are reported instead of silently sized.
+
+use crate::design::TenantGroupPlan;
+use crate::tenant::Tenant;
+use crate::tuning::recommend_tuning_nodes;
+use mppdb_sim::query::QueryTemplate;
+use serde::{Deserialize, Serialize};
+
+/// Sizing outcome for one template.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TemplateSizing {
+    /// `MPPDB_0` with this many nodes absorbs the target concurrency.
+    Feasible(u32),
+    /// No node count up to the cap meets the SLA — the template's serial
+    /// fraction makes concurrent processing irreducibly slower than the
+    /// dedicated baseline (the "non-linear scale-out problem").
+    Infeasible,
+}
+
+/// The divergent-design sizing result for a tenant class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DivergentSizing {
+    /// The minimal `U` covering every feasible template.
+    pub u: u32,
+    /// Per-template outcomes, in input order.
+    pub per_template: Vec<TemplateSizing>,
+    /// Indices of templates that cannot be absorbed at the target
+    /// concurrency (they fall back to the reactive path).
+    pub infeasible: Vec<usize>,
+}
+
+/// Computes the minimal tuning-MPPDB size `U` such that every *feasible*
+/// template of the class, concurrently processed with `overflow_degree - 1`
+/// identical queries on `MPPDB_0`, still meets the SLA of a dedicated
+/// `n1`-node MPPDB within `slack` (≥ 1.0).
+///
+/// `data_gb` is the per-tenant data volume of the class (the class is
+/// homogeneous by construction — Step 1 of the grouping puts equal-size
+/// tenants together). `max_u` caps the search.
+///
+/// # Panics
+/// Panics if `templates` is empty or parameters are out of range (see
+/// [`recommend_tuning_nodes`]).
+pub fn size_divergent_tuning_mppdb(
+    templates: &[QueryTemplate],
+    data_gb: f64,
+    n1: u32,
+    overflow_degree: u32,
+    slack: f64,
+    max_u: u32,
+) -> DivergentSizing {
+    assert!(!templates.is_empty(), "a tenant class needs templates");
+    let mut u = n1;
+    let mut per_template = Vec::with_capacity(templates.len());
+    let mut infeasible = Vec::new();
+    for (i, t) in templates.iter().enumerate() {
+        match recommend_tuning_nodes(t, data_gb, n1, overflow_degree, slack, max_u) {
+            Some(needed) => {
+                u = u.max(needed);
+                per_template.push(TemplateSizing::Feasible(needed));
+            }
+            None => {
+                per_template.push(TemplateSizing::Infeasible);
+                infeasible.push(i);
+            }
+        }
+    }
+    DivergentSizing {
+        u,
+        per_template,
+        infeasible,
+    }
+}
+
+/// Builds a divergent tenant-group plan: `A = R` MPPDBs of `n1` nodes with
+/// the tuning MPPDB grown upfront to the size returned by
+/// [`size_divergent_tuning_mppdb`]. With the overflow absorbed by design,
+/// the group tolerates `R - 1 + overflow_degree` concurrently active
+/// tenants without SLA violations for its known templates — fewer elastic
+/// scalings at a slightly higher steady-state node cost.
+///
+/// # Panics
+/// Panics if `members` is empty or the sizing inputs are invalid.
+pub fn divergent_group_plan(
+    members: Vec<Tenant>,
+    replication: u32,
+    templates: &[QueryTemplate],
+    overflow_degree: u32,
+    slack: f64,
+    max_u: u32,
+) -> (TenantGroupPlan, DivergentSizing) {
+    let n1 = members
+        .iter()
+        .map(|t| t.nodes)
+        .max()
+        .expect("a tenant-group needs members");
+    let data_gb = members
+        .iter()
+        .map(|t| t.data_gb)
+        .fold(0.0f64, f64::max);
+    let sizing = size_divergent_tuning_mppdb(
+        templates,
+        data_gb,
+        n1,
+        overflow_degree,
+        slack,
+        max_u,
+    );
+    let plan = TenantGroupPlan::new(members, replication, sizing.u);
+    (plan, sizing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantId;
+    use mppdb_sim::query::TemplateId;
+
+    fn linear(cost: f64) -> QueryTemplate {
+        QueryTemplate::new(TemplateId(1), cost, 0.0)
+    }
+
+    fn nonlinear() -> QueryTemplate {
+        QueryTemplate::new(TemplateId(19), 100.0, 0.3)
+    }
+
+    #[test]
+    fn linear_class_sizes_to_degree_times_n1() {
+        let sizing =
+            size_divergent_tuning_mppdb(&[linear(100.0), linear(400.0)], 200.0, 2, 2, 1.0, 64);
+        assert_eq!(sizing.u, 4);
+        assert!(sizing.infeasible.is_empty());
+        assert_eq!(
+            sizing.per_template,
+            vec![TemplateSizing::Feasible(4), TemplateSizing::Feasible(4)]
+        );
+    }
+
+    #[test]
+    fn nonlinear_templates_are_reported_not_sized() {
+        let sizing = size_divergent_tuning_mppdb(
+            &[linear(100.0), nonlinear()],
+            800.0,
+            8,
+            2,
+            1.0,
+            1024,
+        );
+        assert_eq!(sizing.infeasible, vec![1]);
+        assert_eq!(sizing.u, 16); // sized by the feasible template
+    }
+
+    #[test]
+    fn divergent_plan_grows_the_tuning_mppdb_upfront() {
+        let members: Vec<Tenant> =
+            (0..5).map(|i| Tenant::new(TenantId(i), 4, 400.0)).collect();
+        let (plan, sizing) =
+            divergent_group_plan(members, 3, &[linear(150.0)], 3, 1.0, 64);
+        assert_eq!(sizing.u, 12); // absorb 3 concurrent linear queries
+        assert_eq!(plan.mppdb_nodes, vec![12, 4, 4]);
+        assert_eq!(plan.nodes_used(), 20);
+        // Versus the reactive design's 12 nodes: the divergent class pays 8
+        // more nodes upfront to avoid elastic scalings.
+    }
+
+    #[test]
+    fn degree_one_needs_no_growth() {
+        let sizing = size_divergent_tuning_mppdb(&[linear(100.0)], 200.0, 2, 1, 1.0, 64);
+        assert_eq!(sizing.u, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs templates")]
+    fn empty_template_set_panics() {
+        let _ = size_divergent_tuning_mppdb(&[], 200.0, 2, 2, 1.0, 64);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types of the Thrifty core.
+
+use mppdb_sim::error::SimError;
+use std::fmt;
+
+/// Errors produced by deployment and service operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThriftyError {
+    /// The deployment plan needs more nodes than the cluster owns.
+    ClusterTooSmall {
+        /// Nodes required by the plan.
+        required: u64,
+        /// Nodes the cluster owns.
+        available: usize,
+    },
+    /// The plan contains no tenant-groups.
+    EmptyPlan,
+    /// A replayed query references a template the service has no profile
+    /// for.
+    UnknownTemplate(mppdb_sim::query::TemplateId),
+    /// A replayed query references a tenant absent from the deployment.
+    UnknownTenant(crate::tenant::TenantId),
+    /// The service has not been deployed yet.
+    NotDeployed,
+    /// An underlying simulator error.
+    Sim(SimError),
+}
+
+impl fmt::Display for ThriftyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThriftyError::ClusterTooSmall {
+                required,
+                available,
+            } => write!(
+                f,
+                "deployment plan needs {required} nodes but the cluster owns {available}"
+            ),
+            ThriftyError::EmptyPlan => write!(f, "deployment plan has no tenant-groups"),
+            ThriftyError::UnknownTemplate(id) => {
+                write!(f, "no latency profile registered for template {id}")
+            }
+            ThriftyError::UnknownTenant(id) => {
+                write!(f, "tenant {id} is not part of the deployment")
+            }
+            ThriftyError::NotDeployed => write!(f, "service has not been deployed"),
+            ThriftyError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThriftyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThriftyError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ThriftyError {
+    fn from(e: SimError) -> Self {
+        ThriftyError::Sim(e)
+    }
+}
+
+/// Convenience result alias.
+pub type ThriftyResult<T> = Result<T, ThriftyError>;

@@ -1,0 +1,206 @@
+//! Exact LIVBPwFC solver for small instances.
+//!
+//! The paper formulates the problem as a mixed-integer non-linear program
+//! (Appendix 9.1) and solves it with the DIRECT global optimizer — which
+//! took *12 days for 20 tenants*, so it only serves as an optimality
+//! reference. This module plays the same role with a branch-and-bound
+//! search over canonical set partitions (restricted-growth enumeration):
+//! tenants are assigned in order to an existing group or a fresh one,
+//! pruning any branch whose partial cost already meets the incumbent or
+//! whose current group violates the fuzzy capacity constraint. Practical up
+//! to roughly a dozen tenants.
+
+use crate::grouping::histogram::ActiveCountHistogram;
+use crate::grouping::livbpwfc::{GroupingProblem, GroupingSolution, TenantGroup};
+
+/// Upper bound on instance size accepted by [`exact_grouping`]; beyond this
+/// the search space (Bell numbers) explodes.
+pub const MAX_EXACT_TENANTS: usize = 14;
+
+/// Finds a minimum-cost feasible grouping by exhaustive canonical-partition
+/// search with pruning. Returns `None` only for the empty instance's
+/// trivial solution (which is returned as an empty solution, never `None`)
+/// — i.e. this always returns a solution because singleton groups are
+/// always feasible when `R ≥ 1`.
+///
+/// # Panics
+/// Panics if the instance exceeds [`MAX_EXACT_TENANTS`] tenants.
+pub fn exact_grouping(problem: &GroupingProblem) -> GroupingSolution {
+    assert!(
+        problem.len() <= MAX_EXACT_TENANTS,
+        "exact search is limited to {MAX_EXACT_TENANTS} tenants, got {}",
+        problem.len()
+    );
+    if problem.is_empty() {
+        return GroupingSolution { groups: Vec::new() };
+    }
+    // Incumbent: singleton groups (always feasible for R >= 1, since a
+    // single tenant can have at most 1 concurrently active member).
+    let mut best: Vec<Vec<usize>> = (0..problem.len()).map(|i| vec![i]).collect();
+    let mut best_cost = partition_cost(problem, &best);
+
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut hists: Vec<ActiveCountHistogram> = Vec::new();
+    let mut maxes: Vec<u32> = Vec::new();
+    search(
+        problem,
+        0,
+        0,
+        &mut groups,
+        &mut hists,
+        &mut maxes,
+        &mut best,
+        &mut best_cost,
+    );
+    GroupingSolution {
+        groups: best
+            .into_iter()
+            .map(|members| TenantGroup { members })
+            .collect(),
+    }
+}
+
+fn partition_cost(problem: &GroupingProblem, groups: &[Vec<usize>]) -> u64 {
+    groups.iter().map(|g| problem.group_nodes(g)).sum()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    problem: &GroupingProblem,
+    next: usize,
+    cost_so_far: u64,
+    groups: &mut Vec<Vec<usize>>,
+    hists: &mut Vec<ActiveCountHistogram>,
+    maxes: &mut Vec<u32>,
+    best: &mut Vec<Vec<usize>>,
+    best_cost: &mut u64,
+) {
+    if cost_so_far >= *best_cost {
+        return; // adding tenants never decreases the cost
+    }
+    if next == problem.len() {
+        *best = groups.clone();
+        *best_cost = cost_so_far;
+        return;
+    }
+    let v = &problem.activities[next];
+    let n = problem.tenants[next].nodes;
+    let r = u64::from(problem.replication);
+
+    // Try every existing group (canonical order avoids symmetric duplicates
+    // because group identity is fixed by its smallest member).
+    for gi in 0..groups.len() {
+        if hists[gi].ttp_with(v, problem.replication) < problem.sla_p {
+            continue;
+        }
+        let old_max = maxes[gi];
+        let new_max = old_max.max(n);
+        let delta = r * u64::from(new_max - old_max);
+        groups[gi].push(next);
+        hists[gi].add(v);
+        maxes[gi] = new_max;
+        search(
+            problem,
+            next + 1,
+            cost_so_far + delta,
+            groups,
+            hists,
+            maxes,
+            best,
+            best_cost,
+        );
+        // Backtrack: histograms do not support removal, so rebuild.
+        groups[gi].pop();
+        maxes[gi] = old_max;
+        let mut rebuilt = ActiveCountHistogram::new(problem.d());
+        for &m in &groups[gi] {
+            rebuilt.add(&problem.activities[m]);
+        }
+        hists[gi] = rebuilt;
+    }
+
+    // Open a new group with this tenant.
+    groups.push(vec![next]);
+    let mut h = ActiveCountHistogram::new(problem.d());
+    h.add(v);
+    hists.push(h);
+    maxes.push(n);
+    search(
+        problem,
+        next + 1,
+        cost_so_far + r * u64::from(n),
+        groups,
+        hists,
+        maxes,
+        best,
+        best_cost,
+    );
+    groups.pop();
+    hists.pop();
+    maxes.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::ffd::ffd_grouping;
+    use crate::grouping::livbpwfc::tests::figure_5_1_problem;
+    use crate::grouping::two_step::two_step_grouping;
+
+    #[test]
+    fn exact_is_feasible_and_no_worse_than_heuristics() {
+        for (r, p) in [(3, 0.999), (2, 0.9), (1, 1.0), (4, 0.95)] {
+            let problem = figure_5_1_problem(r, p);
+            let exact = exact_grouping(&problem);
+            exact.validate(&problem).unwrap();
+            let two_step = two_step_grouping(&problem);
+            let ffd = ffd_grouping(&problem);
+            assert!(
+                exact.nodes_used(&problem) <= two_step.nodes_used(&problem),
+                "r={r} p={p}"
+            );
+            assert!(
+                exact.nodes_used(&problem) <= ffd.nodes_used(&problem),
+                "r={r} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_matches_known_optimum_on_the_walkthrough() {
+        // Figure 5.3 instance, R = 3, P = 99.9%: {T2..T6} + {T1} is
+        // feasible and costs 2 groups * 3 * 4 = 24 nodes. One single group
+        // of all six is infeasible (TTP 90% at best per the walk-through),
+        // so 24 is optimal.
+        let problem = figure_5_1_problem(3, 0.999);
+        let exact = exact_grouping(&problem);
+        assert_eq!(exact.nodes_used(&problem), 24);
+        assert_eq!(exact.groups.len(), 2);
+    }
+
+    #[test]
+    fn exact_handles_empty_instance() {
+        let problem = figure_5_1_problem(3, 0.999);
+        let empty = crate::grouping::livbpwfc::GroupingProblem::new(
+            vec![],
+            vec![],
+            problem.replication,
+            problem.sla_p,
+        );
+        assert!(exact_grouping(&empty).groups.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn exact_rejects_large_instances() {
+        use crate::activity::ActivityVector;
+        use crate::tenant::{Tenant, TenantId};
+        let n = MAX_EXACT_TENANTS + 1;
+        let tenants: Vec<Tenant> = (0..n)
+            .map(|i| Tenant::new(TenantId(i as u32), 2, 200.0))
+            .collect();
+        let activities = vec![ActivityVector::empty(4); n];
+        let problem = GroupingProblem::new(tenants, activities, 3, 0.999);
+        let _ = exact_grouping(&problem);
+    }
+}

@@ -1,0 +1,338 @@
+//! The 2-step tenant-grouping heuristic (Algorithm 2, Chapter 5).
+//!
+//! **Step 1** puts all tenants requesting the same number of nodes into the
+//! same *initial group*: the objective charges each tenant-group for its
+//! largest member (`R · max n_i`), so mixing sizes wastes the smaller
+//! tenants' slack — grouping ten 6-node tenants saves 42 nodes where the
+//! mixed toy example of Figure 4.1 saves only 24.
+//!
+//! **Step 2** splits every initial group into tenant-groups greedily:
+//!
+//! 1. Seed a new group with the least active remaining tenant.
+//! 2. Repeatedly pick the remaining tenant `T_best` that minimizes the
+//!    increase in the time share of the *maximum* concurrent-active level
+//!    (ties resolved at the next level down — see
+//!    [`crate::grouping::histogram::compare_level_hists`]),
+//!    and add it while the group's TTP stays at or above `P`.
+//! 3. When adding `T_best` would drop the TTP below `P`, close the group
+//!    and start the next one (Algorithm 2 lines 9–11: the group closes on
+//!    the *best* candidate's failure; it does not shop for a worse-profile
+//!    candidate that happens to still fit).
+//!
+//! Complexity: `O(Σ_buckets g_b²)` candidate evaluations, each
+//! `O(active epochs of the candidate)` thanks to the incremental histogram.
+
+use crate::grouping::histogram::{compare_level_hists, ActiveCountHistogram};
+use crate::grouping::livbpwfc::{GroupingProblem, GroupingSolution, TenantGroup};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Tie-breaking depth for candidate selection — the subject of the
+/// tie-breaking ablation (DESIGN.md §6.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TieBreaking {
+    /// Compare the full level histogram from the maximum level down
+    /// (the paper's rule, illustrated in Figure 5.3a).
+    #[default]
+    FullLexicographic,
+    /// Compare only (max level, epochs at max level); deeper ties fall
+    /// through to insertion order.
+    TopLevelOnly,
+}
+
+/// When does a growing tenant-group close?
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GroupClosing {
+    /// "The adding of a tenant to a tenant-group stops only when that would
+    /// result in TTP < P" (Chapter 5): if the activity-best candidate does
+    /// not fit, fall back to the best candidate that still fits; close only
+    /// when nobody fits. The default.
+    #[default]
+    FillUntilNoneFits,
+    /// The literal Algorithm 2 lines 5–11: test only `T_best`; close the
+    /// group the first time it fails. An ablation — it closes groups early
+    /// because the lexicographic activity metric does not minimize the
+    /// violating-epoch count that feasibility depends on.
+    CloseOnBestFailure,
+}
+
+/// Configuration of the 2-step heuristic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwoStepConfig {
+    /// Tie-breaking depth (default: the paper's full rule).
+    pub tie_breaking: TieBreaking,
+    /// If `true`, skip Step 1 and run Step 2 over the whole tenant pool —
+    /// the "no homogeneous initial groups" ablation.
+    pub skip_size_grouping: bool,
+    /// Group-closing policy.
+    pub closing: GroupClosing,
+}
+
+/// Runs the 2-step tenant-grouping heuristic with default configuration.
+pub fn two_step_grouping(problem: &GroupingProblem) -> GroupingSolution {
+    two_step_grouping_with(problem, TwoStepConfig::default())
+}
+
+/// Runs the 2-step heuristic with explicit configuration.
+pub fn two_step_grouping_with(
+    problem: &GroupingProblem,
+    config: TwoStepConfig,
+) -> GroupingSolution {
+    let mut groups = Vec::new();
+    if config.skip_size_grouping {
+        let all: Vec<usize> = (0..problem.len()).collect();
+        split_bucket(problem, &all, config, &mut groups);
+    } else {
+        // Step 1: homogeneous node-size buckets, processed largest size
+        // first for a deterministic group order.
+        let mut buckets: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, t) in problem.tenants.iter().enumerate() {
+            buckets.entry(t.nodes).or_default().push(i);
+        }
+        for (_, bucket) in buckets.iter().rev() {
+            split_bucket(problem, bucket, config, &mut groups);
+        }
+    }
+    GroupingSolution { groups }
+}
+
+/// Step 2: split one initial group into tenant-groups.
+fn split_bucket(
+    problem: &GroupingProblem,
+    bucket: &[usize],
+    config: TwoStepConfig,
+    out: &mut Vec<TenantGroup>,
+) {
+    let d = problem.d();
+    let mut remaining: Vec<usize> = bucket.to_vec();
+    while !remaining.is_empty() {
+        // Seed with the least active remaining tenant (ties: lowest index,
+        // i.e. lowest tenant id, for determinism).
+        let seed_pos = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| (problem.activities[i].active_epochs(), i))
+            .map(|(pos, _)| pos)
+            .expect("remaining is non-empty");
+        let seed = remaining.swap_remove(seed_pos);
+        let mut hist = ActiveCountHistogram::new(d);
+        hist.add(&problem.activities[seed]);
+        let mut members = vec![seed];
+
+        // Grow the group until no further tenant fits.
+        while !remaining.is_empty() {
+            let best_pos = select_best(problem, &hist, &remaining, config, false);
+            let candidate = remaining[best_pos];
+            let ttp = hist.ttp_with(&problem.activities[candidate], problem.replication);
+            if ttp >= problem.sla_p {
+                hist.add(&problem.activities[candidate]);
+                members.push(candidate);
+                remaining.swap_remove(best_pos);
+                continue;
+            }
+            if config.closing == GroupClosing::CloseOnBestFailure {
+                break; // the literal Algorithm 2 line 9
+            }
+            // The activity-best candidate does not fit; shop for the best
+            // candidate that still does.
+            let feasible_pos = select_best(problem, &hist, &remaining, config, true);
+            let candidate = remaining[feasible_pos];
+            if hist.ttp_with(&problem.activities[candidate], problem.replication)
+                >= problem.sla_p
+            {
+                hist.add(&problem.activities[candidate]);
+                members.push(candidate);
+                remaining.swap_remove(feasible_pos);
+            } else {
+                break; // nobody fits: close the group
+            }
+        }
+        out.push(TenantGroup { members });
+    }
+}
+
+/// Picks the candidate minimizing the increase in the time share of the
+/// maximum concurrent-active level. On full ties the *later* candidate in
+/// iteration order wins — this reproduces the published walk-through, where
+/// the all-ties round of Figure 5.3d selects `T6`. With `feasible_only`,
+/// candidates whose addition would violate the fuzzy capacity are skipped
+/// (unless none fits, in which case position 0 is returned and the caller's
+/// re-check closes the group).
+fn select_best(
+    problem: &GroupingProblem,
+    hist: &ActiveCountHistogram,
+    remaining: &[usize],
+    config: TwoStepConfig,
+    feasible_only: bool,
+) -> usize {
+    debug_assert!(!remaining.is_empty());
+    let d = hist.d();
+    let mut best: Option<(usize, Vec<u64>)> = None;
+    for (pos, &i) in remaining.iter().enumerate() {
+        // One scan per candidate: the resulting level histogram also decides
+        // feasibility (epochs above R), so the feasible-only fallback costs
+        // no extra pass.
+        let cand_hist = hist.level_hist_with(&problem.activities[i]);
+        if feasible_only && d > 0 {
+            let above: u64 = cand_hist
+                .iter()
+                .skip(problem.replication as usize + 1)
+                .sum();
+            let ttp = 1.0 - above as f64 / f64::from(d);
+            if ttp < problem.sla_p {
+                continue;
+            }
+        }
+        let better = match &best {
+            None => true,
+            Some((_, best_hist)) => {
+                let ord = match config.tie_breaking {
+                    TieBreaking::FullLexicographic => compare_level_hists(&cand_hist, best_hist),
+                    TieBreaking::TopLevelOnly => compare_top_level(&cand_hist, best_hist),
+                };
+                ord != Ordering::Greater
+            }
+        };
+        if better {
+            best = Some((pos, cand_hist));
+        }
+    }
+    best.map(|(pos, _)| pos).unwrap_or(0)
+}
+
+/// Shallow comparison: (max level, epochs at max level) only.
+fn compare_top_level(a: &[u64], b: &[u64]) -> Ordering {
+    let max_a = a.iter().rposition(|&n| n > 0).unwrap_or(0);
+    let max_b = b.iter().rposition(|&n| n > 0).unwrap_or(0);
+    max_a.cmp(&max_b).then_with(|| {
+        let at_a = if max_a == 0 { 0 } else { a[max_a] };
+        let at_b = if max_b == 0 { 0 } else { b[max_b] };
+        at_a.cmp(&at_b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::livbpwfc::tests::figure_5_1_problem;
+    use crate::activity::ActivityVector;
+    use crate::tenant::{Tenant, TenantId};
+
+    #[test]
+    fn paper_walkthrough() {
+        // Figure 5.3, R = 3, P = 99.9%: the heuristic seeds TG1 with T3,
+        // then adds T2, T5, T4, T6 in that order; T1 would drop the TTP to
+        // 90% and opens TG2.
+        let problem = figure_5_1_problem(3, 0.999);
+        let solution = two_step_grouping(&problem);
+        assert_eq!(solution.groups.len(), 2);
+        // Tenant indices are 0-based: T3 = index 2, etc.
+        assert_eq!(solution.groups[0].members, vec![2, 1, 4, 3, 5]);
+        assert_eq!(solution.groups[1].members, vec![0]);
+        solution.validate(&problem).expect("solution must be valid");
+        // "After TG1 has five tenants T2..T6, the maximum number of active
+        // tenants is only three."
+        assert!((problem.group_ttp(&solution.groups[0].members) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walkthrough_intermediate_choice_matches_figure_5_3a() {
+        // With TG1 = {T3}, the candidate evaluation of Figure 5.3a must
+        // choose T2 (keeps max level at 1 with the smallest level-1 share).
+        let problem = figure_5_1_problem(3, 0.999);
+        let mut hist = ActiveCountHistogram::new(problem.d());
+        hist.add(&problem.activities[2]); // T3
+        let remaining = vec![0, 1, 3, 4, 5]; // T1, T2, T4, T5, T6
+        let pos = select_best(&problem, &hist, &remaining, TwoStepConfig::default(), false);
+        assert_eq!(remaining[pos], 1, "T2 must be selected");
+    }
+
+    #[test]
+    fn solution_is_always_a_valid_partition() {
+        for p in [0.5, 0.9, 0.999, 1.0] {
+            for r in 1..=4 {
+                let problem = figure_5_1_problem(r, p);
+                let solution = two_step_grouping(&problem);
+                solution
+                    .validate(&problem)
+                    .unwrap_or_else(|e| panic!("r={r} p={p}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn r_equal_one_forbids_concurrent_overlap_beyond_p() {
+        // With R = 1 and P = 1.0, no two tenants that are ever concurrently
+        // active may share a group.
+        let problem = figure_5_1_problem(1, 1.0);
+        let solution = two_step_grouping(&problem);
+        solution.validate(&problem).unwrap();
+        for g in &solution.groups {
+            assert!((problem.group_ttp(&g.members) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_one_separates_node_sizes() {
+        // Two always-inactive tenants of different sizes must land in
+        // different groups (homogeneous initial groups), even though their
+        // activities would trivially fit together.
+        let d = 10;
+        let tenants = vec![
+            Tenant::new(TenantId(0), 2, 200.0),
+            Tenant::new(TenantId(1), 8, 800.0),
+        ];
+        let activities = vec![ActivityVector::empty(d), ActivityVector::empty(d)];
+        let problem = GroupingProblem::new(tenants, activities, 3, 0.999);
+        let solution = two_step_grouping(&problem);
+        assert_eq!(solution.groups.len(), 2);
+        // The ablation switch packs them together instead.
+        let ablated = two_step_grouping_with(
+            &problem,
+            TwoStepConfig {
+                skip_size_grouping: true,
+                ..TwoStepConfig::default()
+            },
+        );
+        assert_eq!(ablated.groups.len(), 1);
+    }
+
+    #[test]
+    fn inactive_tenants_all_share_one_group() {
+        let d = 100;
+        let n = 50;
+        let tenants: Vec<Tenant> = (0..n)
+            .map(|i| Tenant::new(TenantId(i), 4, 400.0))
+            .collect();
+        let activities = vec![ActivityVector::empty(d); n as usize];
+        let problem = GroupingProblem::new(tenants, activities, 3, 0.999);
+        let solution = two_step_grouping(&problem);
+        assert_eq!(solution.groups.len(), 1);
+        assert_eq!(solution.groups[0].members.len(), n as usize);
+    }
+
+    #[test]
+    fn always_active_tenants_get_r_per_group() {
+        // Tenants active in every epoch: at most R of them fit per group
+        // (any R are concurrently active everywhere; an (R+1)-th violates
+        // every epoch).
+        let d = 50;
+        let n = 10usize;
+        let full = ActivityVector::from_epochs((0..d).collect(), d);
+        let tenants: Vec<Tenant> = (0..n)
+            .map(|i| Tenant::new(TenantId(i as u32), 4, 400.0))
+            .collect();
+        let problem = GroupingProblem::new(tenants, vec![full; n], 3, 0.999);
+        let solution = two_step_grouping(&problem);
+        assert_eq!(solution.groups.len(), 4); // ceil(10 / 3)
+        assert!(solution.groups.iter().all(|g| g.members.len() <= 3));
+        solution.validate(&problem).unwrap();
+    }
+
+    #[test]
+    fn empty_problem_yields_empty_solution() {
+        let problem = GroupingProblem::new(vec![], vec![], 3, 0.999);
+        let solution = two_step_grouping(&problem);
+        assert!(solution.groups.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! The Deployment Master (Chapter 3, component c).
+//!
+//! Follows a deployment plan: starts the MPPDB instances of every
+//! tenant-group on the simulated cluster, bulk loads all member tenants
+//! onto each of a group's `A` instances (Property 1: every MPPDB of a
+//! group hosts all of its tenants), and leaves every unused node
+//! hibernated. The deployment is static until the next (re-)consolidation
+//! cycle.
+
+use crate::design::DeploymentPlan;
+use crate::error::{ThriftyError, ThriftyResult};
+use mppdb_sim::cluster::{Cluster, SimEvent};
+use mppdb_sim::instance::InstanceId;
+use mppdb_sim::query::SimTenantId;
+use mppdb_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The materialized deployment: per tenant-group, the instances serving it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Deployment {
+    /// `instances[g][j]` = instance id of MPPDB `j` of tenant-group `g`
+    /// (`j = 0` is the tuning MPPDB).
+    pub instances: Vec<Vec<InstanceId>>,
+    /// When every instance finished provisioning (node start-up plus bulk
+    /// load of every replica).
+    pub ready_at: SimTime,
+}
+
+/// The Deployment Master.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeploymentMaster;
+
+impl DeploymentMaster {
+    /// Deploys a plan onto the cluster and runs the simulation until every
+    /// instance is ready.
+    ///
+    /// # Errors
+    /// Fails if the plan is empty or the cluster has fewer free nodes than
+    /// the plan requires.
+    pub fn deploy(plan: &DeploymentPlan, cluster: &mut Cluster) -> ThriftyResult<Deployment> {
+        if plan.groups.is_empty() {
+            return Err(ThriftyError::EmptyPlan);
+        }
+        let required = plan.nodes_used();
+        if required > cluster.free_nodes() as u64 {
+            return Err(ThriftyError::ClusterTooSmall {
+                required,
+                available: cluster.free_nodes(),
+            });
+        }
+        let mut instances = Vec::with_capacity(plan.groups.len());
+        for group in &plan.groups {
+            let datasets: Vec<(SimTenantId, f64)> = group
+                .members
+                .iter()
+                .map(|t| (t.id, t.data_gb))
+                .collect();
+            let mut group_instances = Vec::with_capacity(group.mppdb_nodes.len());
+            for &nodes in &group.mppdb_nodes {
+                let id = cluster.provision_instance(nodes as usize, &datasets)?;
+                group_instances.push(id);
+            }
+            instances.push(group_instances);
+        }
+        // Run provisioning to completion; the last readiness event is the
+        // deployment's ready time.
+        let events = cluster.run_to_quiescence();
+        let ready_at = events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::InstanceReady { .. }))
+            .map(SimEvent::at)
+            .max()
+            .unwrap_or_else(|| cluster.now());
+        Ok(Deployment {
+            instances,
+            ready_at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::TenantGroupPlan;
+    use crate::tenant::{Tenant, TenantId};
+    use mppdb_sim::cluster::ClusterConfig;
+    use mppdb_sim::instance::InstanceState;
+
+    fn plan() -> DeploymentPlan {
+        DeploymentPlan {
+            groups: vec![
+                TenantGroupPlan::new(
+                    vec![
+                        Tenant::new(TenantId(0), 4, 400.0),
+                        Tenant::new(TenantId(1), 2, 200.0),
+                    ],
+                    2,
+                    4,
+                ),
+                TenantGroupPlan::new(vec![Tenant::new(TenantId(2), 2, 200.0)], 2, 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn deploy_provisions_every_replica_with_all_members() {
+        let mut cluster = Cluster::new(ClusterConfig::new(12));
+        let deployment = DeploymentMaster::deploy(&plan(), &mut cluster).unwrap();
+        assert_eq!(deployment.instances.len(), 2);
+        assert_eq!(deployment.instances[0].len(), 2);
+        // Group 0 instances host both members (Property 1).
+        for &iid in &deployment.instances[0] {
+            let inst = cluster.instance(iid).unwrap();
+            assert_eq!(inst.state(), InstanceState::Ready);
+            assert!(inst.hosts(TenantId(0)));
+            assert!(inst.hosts(TenantId(1)));
+            assert!(!inst.hosts(TenantId(2)));
+            assert!((inst.total_data_gb() - 600.0).abs() < 1e-9);
+        }
+        // 2*4 + 2*2 = 12 nodes powered; none left.
+        assert_eq!(cluster.free_nodes(), 0);
+        assert!(deployment.ready_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn unused_nodes_stay_hibernated() {
+        let mut cluster = Cluster::new(ClusterConfig::new(20));
+        DeploymentMaster::deploy(&plan(), &mut cluster).unwrap();
+        assert_eq!(cluster.free_nodes(), 8);
+        assert_eq!(cluster.powered_nodes(), 12);
+    }
+
+    #[test]
+    fn ready_time_reflects_the_biggest_load() {
+        // Group 0 loads 600 GB per instance; the Table 5.1 model says that
+        // takes (103.4 + 50.3*600) s plus a 4-node start-up.
+        let mut cluster = Cluster::new(ClusterConfig::new(12));
+        let deployment = DeploymentMaster::deploy(&plan(), &mut cluster).unwrap();
+        let model = ClusterConfig::new(12).provisioning;
+        let expected = model.provision_time(4, 600.0);
+        assert_eq!(deployment.ready_at, SimTime::ZERO + expected);
+    }
+
+    #[test]
+    fn too_small_cluster_is_rejected() {
+        let mut cluster = Cluster::new(ClusterConfig::new(4));
+        let err = DeploymentMaster::deploy(&plan(), &mut cluster).unwrap_err();
+        assert!(matches!(err, ThriftyError::ClusterTooSmall { required: 12, .. }));
+    }
+
+    #[test]
+    fn empty_plan_is_rejected() {
+        let mut cluster = Cluster::new(ClusterConfig::new(4));
+        let err =
+            DeploymentMaster::deploy(&DeploymentPlan::default(), &mut cluster).unwrap_err();
+        assert_eq!(err, ThriftyError::EmptyPlan);
+    }
+}

@@ -1,0 +1,87 @@
+//! Consolidation-effectiveness reporting.
+//!
+//! The paper's primary metric (Figures 7.1a–7.6a) is the percentage of
+//! nodes *saved*: if tenants requested 10 000 nodes and Thrifty serves them
+//! with 2 000, the consolidation effectiveness is 80%.
+
+use crate::grouping::{GroupingProblem, GroupingSolution};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Summary of one grouping run, as reported in the Chapter 7 figures.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConsolidationReport {
+    /// Which algorithm produced the solution (e.g. "2-step", "FFD").
+    pub algorithm: String,
+    /// Total nodes requested by the tenants (`N`).
+    pub nodes_requested: u64,
+    /// Nodes used after consolidation (`Σ R · max n_i`).
+    pub nodes_used: u64,
+    /// Fraction of requested nodes saved.
+    pub effectiveness: f64,
+    /// Number of tenant-groups formed.
+    pub groups: usize,
+    /// Average members per tenant-group.
+    pub average_group_size: f64,
+    /// Wall-clock running time of the grouping algorithm.
+    pub runtime: Duration,
+}
+
+impl ConsolidationReport {
+    /// Builds a report from a solution and the measured runtime.
+    pub fn new(
+        algorithm: impl Into<String>,
+        problem: &GroupingProblem,
+        solution: &GroupingSolution,
+        runtime: Duration,
+    ) -> Self {
+        ConsolidationReport {
+            algorithm: algorithm.into(),
+            nodes_requested: problem.nodes_requested(),
+            nodes_used: solution.nodes_used(problem),
+            effectiveness: solution.effectiveness(problem),
+            groups: solution.groups.len(),
+            average_group_size: solution.average_group_size(),
+            runtime,
+        }
+    }
+}
+
+impl fmt::Display for ConsolidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.1}% saved ({} of {} nodes used, {} groups, avg size {:.1}, {:.2?})",
+            self.algorithm,
+            self.effectiveness * 100.0,
+            self.nodes_used,
+            self.nodes_requested,
+            self.groups,
+            self.average_group_size,
+            self.runtime,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::two_step_grouping;
+    use crate::grouping::livbpwfc::tests::figure_5_1_problem;
+
+    #[test]
+    fn report_summarizes_a_run() {
+        let problem = figure_5_1_problem(3, 0.999);
+        let solution = two_step_grouping(&problem);
+        let report =
+            ConsolidationReport::new("2-step", &problem, &solution, Duration::from_millis(5));
+        assert_eq!(report.nodes_requested, 24);
+        assert_eq!(report.nodes_used, 24);
+        assert_eq!(report.groups, 2);
+        assert!(report.effectiveness.abs() < 1e-12);
+        let line = report.to_string();
+        assert!(line.contains("2-step"));
+        assert!(line.contains("2 groups"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Query routing (Algorithm 1, Chapter 4.3).
+//!
+//! The TDD routes an **active tenant** — not individual queries — to one
+//! MPPDB and lets that MPPDB exclusively process all of the tenant's
+//! (possibly concurrent) queries until the tenant becomes inactive. A
+//! tenant is *inactive* the moment none of its queries is executing
+//! anywhere (the "strong notion of inactive").
+//!
+//! ```text
+//! route(tenant, query):
+//!   1. if the tenant has queries running on MPPDB_x      -> MPPDB_x
+//!   2. else if MPPDB_0 is free                           -> MPPDB_0
+//!   3. else if some MPPDB_j is free                      -> MPPDB_j
+//!   4. else                                              -> MPPDB_0 (concurrent)
+//! ```
+//!
+//! The router is a pure bookkeeping state machine over the `A` MPPDBs of
+//! one tenant-group: the service layer tells it when queries start and
+//! finish, and it answers routing decisions. Keeping it free of simulator
+//! types makes Algorithm 1 unit-testable exactly as the paper walks through
+//! it (Figure 4.2).
+
+use crate::tenant::TenantId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of an MPPDB within one tenant-group (0 = the tuning MPPDB).
+pub type MppdbIndex = usize;
+
+/// Routing decisions, annotated with which rule of Algorithm 1 fired —
+/// useful for tests and for the Tenant Activity Monitor (rule 4 hits are
+/// exactly the moments the SLA is at risk).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteKind {
+    /// Rule 1: the tenant is already being served there.
+    Sticky,
+    /// Rule 2: MPPDB_0 was free.
+    TuningFree,
+    /// Rule 3: some other MPPDB was free.
+    OtherFree,
+    /// Rule 4: everything busy; concurrent processing on MPPDB_0.
+    Overflow,
+}
+
+/// A routing decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Which MPPDB of the group receives the query.
+    pub mppdb: MppdbIndex,
+    /// Which rule produced the decision.
+    pub kind: RouteKind,
+}
+
+/// Algorithm 1 state for one tenant-group with `A` MPPDBs.
+#[derive(Clone, Debug)]
+pub struct QueryRouter {
+    /// `running[j][tenant]` = number of that tenant's queries currently
+    /// executing on MPPDB `j`.
+    running: Vec<HashMap<TenantId, u32>>,
+}
+
+impl QueryRouter {
+    /// Creates a router over `a` MPPDBs.
+    ///
+    /// # Panics
+    /// Panics if `a == 0`.
+    pub fn new(a: usize) -> Self {
+        assert!(a >= 1, "a tenant-group has at least one MPPDB");
+        QueryRouter {
+            running: vec![HashMap::new(); a],
+        }
+    }
+
+    /// Number of MPPDBs (`A`).
+    pub fn mppdb_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Whether MPPDB `j` currently executes no queries — "free" in the
+    /// paper's sense.
+    pub fn is_free(&self, j: MppdbIndex) -> bool {
+        self.running[j].is_empty()
+    }
+
+    /// The MPPDB currently serving `tenant`, if any (rule 1 state).
+    pub fn serving(&self, tenant: TenantId) -> Option<MppdbIndex> {
+        self.running
+            .iter()
+            .position(|m| m.get(&tenant).copied().unwrap_or(0) > 0)
+    }
+
+    /// Number of distinct tenants with at least one running query in the
+    /// group — the group's concurrent-active count.
+    pub fn active_tenants(&self) -> usize {
+        let mut seen: Vec<TenantId> = self
+            .running
+            .iter()
+            .flat_map(|m| m.keys().copied())
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Routes a query per Algorithm 1 and records it as running on the
+    /// chosen MPPDB.
+    pub fn route(&mut self, tenant: TenantId) -> Route {
+        let decision = self.peek_route(tenant);
+        *self.running[decision.mppdb].entry(tenant).or_insert(0) += 1;
+        decision
+    }
+
+    /// Computes the routing decision without recording the query.
+    pub fn peek_route(&self, tenant: TenantId) -> Route {
+        // Rule 1: stickiness while the tenant is active.
+        if let Some(j) = self.serving(tenant) {
+            return Route {
+                mppdb: j,
+                kind: RouteKind::Sticky,
+            };
+        }
+        // Rule 2: MPPDB_0 if free.
+        if self.is_free(0) {
+            return Route {
+                mppdb: 0,
+                kind: RouteKind::TuningFree,
+            };
+        }
+        // Rule 3: first free MPPDB.
+        if let Some(j) = (1..self.running.len()).find(|&j| self.is_free(j)) {
+            return Route {
+                mppdb: j,
+                kind: RouteKind::OtherFree,
+            };
+        }
+        // Rule 4: concurrent processing on the tuning MPPDB.
+        Route {
+            mppdb: 0,
+            kind: RouteKind::Overflow,
+        }
+    }
+
+    /// Records the completion of one of `tenant`'s queries on MPPDB `j`.
+    ///
+    /// # Panics
+    /// Panics if no such query is running (a bookkeeping error in the
+    /// caller).
+    pub fn complete(&mut self, j: MppdbIndex, tenant: TenantId) {
+        let count = self.running[j]
+            .get_mut(&tenant)
+            .unwrap_or_else(|| panic!("tenant {tenant} has no queries on MPPDB {j}"));
+        *count -= 1;
+        if *count == 0 {
+            self.running[j].remove(&tenant);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: TenantId = TenantId(1);
+    const T2: TenantId = TenantId(2);
+    const T4: TenantId = TenantId(4);
+    const T9: TenantId = TenantId(9);
+
+    /// The full walk-through of Figure 4.2 (Chapter 4.3).
+    #[test]
+    fn figure_4_2_walkthrough() {
+        let mut r = QueryRouter::new(3);
+
+        // Q1: T4 becomes active; all MPPDBs free -> MPPDB_0 (rule 2).
+        let q1 = r.route(T4);
+        assert_eq!((q1.mppdb, q1.kind), (0, RouteKind::TuningFree));
+
+        // Q2: T2 active; MPPDB_0 busy with T4 -> a free MPPDB (rule 3).
+        let q2 = r.route(T2);
+        assert_eq!((q2.mppdb, q2.kind), (1, RouteKind::OtherFree));
+
+        // Q3: T4 submits while Q1 still runs -> sticky to MPPDB_0 (rule 1).
+        let q3 = r.route(T4);
+        assert_eq!((q3.mppdb, q3.kind), (0, RouteKind::Sticky));
+
+        // Q4: T2 submits while Q2 still runs -> sticky to MPPDB_1.
+        let q4 = r.route(T2);
+        assert_eq!((q4.mppdb, q4.kind), (1, RouteKind::Sticky));
+
+        // Q5: T9 becomes active -> the remaining free MPPDB_2 (rule 3).
+        let q5 = r.route(T9);
+        assert_eq!((q5.mppdb, q5.kind), (2, RouteKind::OtherFree));
+        assert_eq!(r.active_tenants(), 3);
+
+        // T4 finishes Q1 and Q3: MPPDB_0 becomes free.
+        r.complete(0, T4);
+        r.complete(0, T4);
+        assert!(r.is_free(0));
+
+        // Q6: T1 becomes active -> MPPDB_0 (rule 2).
+        let q6 = r.route(T1);
+        assert_eq!((q6.mppdb, q6.kind), (0, RouteKind::TuningFree));
+
+        // Q7: T4 again, after its earlier queries finished. Not sticky any
+        // more; MPPDB_0 busy with T1, MPPDB_1 busy with T2 -> ... MPPDB_2 is
+        // busy with T9 too, so in the paper Q7 goes to MPPDB_1? No: the
+        // paper routes Q7 to a *free* MPPDB (T2's queries had finished by
+        // then). Mirror that: complete T2's queries first.
+        r.complete(1, T2);
+        r.complete(1, T2);
+        let q7 = r.route(T4);
+        assert_eq!((q7.mppdb, q7.kind), (1, RouteKind::OtherFree));
+
+        // Q8: T1 submits right after Q6 finished ("short think time"): T1 is
+        // momentarily inactive, so Q8 need not follow Q6 — but with MPPDB_1
+        // and MPPDB_2 busy and MPPDB_0 free, it lands on MPPDB_0 again.
+        r.complete(0, T1);
+        let q8 = r.route(T1);
+        assert_eq!((q8.mppdb, q8.kind), (0, RouteKind::TuningFree));
+    }
+
+    #[test]
+    fn overflow_goes_to_tuning_mppdb() {
+        let mut r = QueryRouter::new(2);
+        r.route(T1);
+        r.route(T2);
+        // Third distinct active tenant: everything busy -> rule 4.
+        let q = r.route(T4);
+        assert_eq!((q.mppdb, q.kind), (0, RouteKind::Overflow));
+        assert_eq!(r.active_tenants(), 3);
+    }
+
+    #[test]
+    fn stickiness_beats_free_instances() {
+        let mut r = QueryRouter::new(3);
+        r.route(T1); // MPPDB_0
+        let q = r.route(T1);
+        assert_eq!((q.mppdb, q.kind), (0, RouteKind::Sticky));
+        assert!(r.is_free(1) && r.is_free(2));
+    }
+
+    #[test]
+    fn completion_releases_the_instance() {
+        let mut r = QueryRouter::new(2);
+        r.route(T1);
+        assert!(!r.is_free(0));
+        assert_eq!(r.serving(T1), Some(0));
+        r.complete(0, T1);
+        assert!(r.is_free(0));
+        assert_eq!(r.serving(T1), None);
+        assert_eq!(r.active_tenants(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no queries")]
+    fn completing_unknown_query_panics() {
+        let mut r = QueryRouter::new(2);
+        r.complete(0, T1);
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let r = QueryRouter::new(2);
+        let a = r.peek_route(T1);
+        let b = r.peek_route(T1);
+        assert_eq!(a, b);
+        assert!(r.is_free(0));
+    }
+}

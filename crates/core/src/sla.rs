@@ -1,0 +1,183 @@
+//! SLA accounting (requirement R3).
+//!
+//! The performance SLA of MPPDBaaS is the *query latency before
+//! consolidation*: a query meets its SLA if, on the consolidated cluster,
+//! it finishes no slower than it did on the tenant's dedicated MPPDB (the
+//! `sla_latency` recorded in the tenant's own log). Normalized performance
+//! is `achieved / baseline`: 1.0 means "as fast as it should be when
+//! measured in an isolated environment" (the y-axis of Figures 7.7b/d).
+
+use crate::routing::RouteKind;
+use crate::tenant::TenantId;
+use mppdb_sim::query::TemplateId;
+use mppdb_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// SLA evaluation policy.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SlaPolicy {
+    /// Relative tolerance: a query *meets* the SLA when
+    /// `achieved ≤ baseline · (1 + tolerance)`. A small tolerance absorbs
+    /// millisecond rounding and the ±1-node discretization of the replay;
+    /// the default is 5%.
+    pub tolerance: f64,
+}
+
+impl Default for SlaPolicy {
+    fn default() -> Self {
+        SlaPolicy { tolerance: 0.05 }
+    }
+}
+
+impl SlaPolicy {
+    /// Whether an achieved latency meets the SLA against a baseline.
+    pub fn met(&self, achieved: SimDuration, baseline: SimDuration) -> bool {
+        if baseline == SimDuration::ZERO {
+            return true;
+        }
+        achieved.as_ms() as f64 <= baseline.as_ms() as f64 * (1.0 + self.tolerance)
+    }
+}
+
+/// The SLA verdict of one completed query.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SlaRecord {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// The tenant-group the tenant belonged to when the query ran.
+    pub group: usize,
+    /// Which template ran.
+    pub template: TemplateId,
+    /// Submission instant (log timeline).
+    pub submit: SimTime,
+    /// Achieved latency on the consolidated cluster.
+    pub achieved: SimDuration,
+    /// Baseline latency from the tenant's dedicated-MPPDB log.
+    pub baseline: SimDuration,
+    /// `achieved / baseline` (1.0 = no consolidation penalty).
+    pub normalized: f64,
+    /// Whether the SLA was met under the policy.
+    pub met: bool,
+    /// Which routing rule served the query (overflow = rule 4 of
+    /// Algorithm 1, the only SLA-risky path).
+    pub route: RouteKind,
+}
+
+impl SlaRecord {
+    /// Builds a record, computing `normalized` and `met`.
+    #[allow(clippy::too_many_arguments)] // one argument per record field
+    pub fn evaluate(
+        tenant: TenantId,
+        group: usize,
+        template: TemplateId,
+        submit: SimTime,
+        achieved: SimDuration,
+        baseline: SimDuration,
+        route: RouteKind,
+        policy: &SlaPolicy,
+    ) -> Self {
+        let normalized = if baseline == SimDuration::ZERO {
+            1.0
+        } else {
+            achieved.as_ms() as f64 / baseline.as_ms() as f64
+        };
+        SlaRecord {
+            tenant,
+            group,
+            template,
+            submit,
+            achieved,
+            baseline,
+            normalized,
+            met: policy.met(achieved, baseline),
+            route,
+        }
+    }
+}
+
+/// Aggregate SLA compliance over a set of records.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SlaSummary {
+    /// Total queries.
+    pub total: usize,
+    /// Queries that met the SLA.
+    pub met: usize,
+    /// Worst normalized performance observed.
+    pub worst_normalized: f64,
+}
+
+impl SlaSummary {
+    /// Summarizes a slice of records.
+    pub fn from_records(records: &[SlaRecord]) -> Self {
+        SlaSummary {
+            total: records.len(),
+            met: records.iter().filter(|r| r.met).count(),
+            worst_normalized: records
+                .iter()
+                .map(|r| r.normalized)
+                .fold(1.0, f64::max),
+        }
+    }
+
+    /// Fraction of queries that met the SLA (1.0 when empty).
+    pub fn compliance(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.met as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(achieved_ms: u64, baseline_ms: u64) -> SlaRecord {
+        SlaRecord::evaluate(
+            TenantId(1),
+            0,
+            TemplateId(101),
+            SimTime::ZERO,
+            SimDuration::from_ms(achieved_ms),
+            SimDuration::from_ms(baseline_ms),
+            RouteKind::TuningFree,
+            &SlaPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn faster_than_baseline_meets() {
+        let r = record(500, 1_000);
+        assert!(r.met);
+        assert!((r.normalized - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_slowdowns() {
+        assert!(record(1_040, 1_000).met);
+        assert!(!record(1_200, 1_000).met);
+    }
+
+    #[test]
+    fn zero_baseline_is_vacuously_met() {
+        let r = record(1_000, 0);
+        assert!(r.met);
+        assert_eq!(r.normalized, 1.0);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let records = vec![record(500, 1_000), record(2_000, 1_000), record(900, 1_000)];
+        let s = SlaSummary::from_records(&records);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.met, 2);
+        assert!((s.compliance() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.worst_normalized - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_compliant() {
+        let s = SlaSummary::from_records(&[]);
+        assert_eq!(s.compliance(), 1.0);
+    }
+}

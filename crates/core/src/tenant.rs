@@ -1,0 +1,59 @@
+//! Tenants as seen by the Thrifty core.
+
+use serde::{Deserialize, Serialize};
+
+/// Tenant identity. Shared with the simulator (`mppdb_sim::query::SimTenantId`)
+/// so no id mapping is needed across layers.
+pub use mppdb_sim::query::SimTenantId as TenantId;
+
+/// A tenant of the MPPDBaaS: its identity, the parallelism it requested and
+/// pays for, and its data volume.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tenant {
+    /// Identity.
+    pub id: TenantId,
+    /// Number of MPPDB nodes requested (`n_i`). This is both the tenant's
+    /// SLA reference ("as fast as a dedicated `n_i`-node MPPDB") and the
+    /// basis of Thrifty's pricing model.
+    pub nodes: u32,
+    /// Total data volume in GB, partitioned across the requested nodes.
+    pub data_gb: f64,
+}
+
+impl Tenant {
+    /// Creates a tenant.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is zero or `data_gb` is not finite and positive.
+    pub fn new(id: TenantId, nodes: u32, data_gb: f64) -> Self {
+        assert!(nodes > 0, "a tenant must request at least one node");
+        assert!(
+            data_gb.is_finite() && data_gb > 0.0,
+            "data_gb must be finite and positive"
+        );
+        Tenant { id, nodes, data_gb }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        let t = Tenant::new(TenantId(1), 4, 400.0);
+        assert_eq!(t.nodes, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Tenant::new(TenantId(1), 0, 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data_gb")]
+    fn bad_data_rejected() {
+        let _ = Tenant::new(TenantId(1), 2, f64::NAN);
+    }
+}

@@ -1,0 +1,889 @@
+//! The cluster: node inventory, instance lifecycle, and the discrete-event
+//! engine.
+//!
+//! [`Cluster`] is a deterministic single-threaded discrete-event simulator.
+//! Drivers interleave their own timeline (e.g. a tenant query log) with the
+//! simulator's by calling [`Cluster::run_until`] up to each external event
+//! time, reacting to the returned [`SimEvent`]s, and then mutating the
+//! cluster (submit a query, provision an instance, ...). Determinism is
+//! total: same inputs, same event sequence, bit for bit.
+
+use crate::cost::isolated_latency_ms;
+use crate::error::{SimError, SimResult};
+use crate::instance::{InstanceId, InstanceState, MppdbInstance, RunningQuery};
+use crate::loading::ProvisioningModel;
+use crate::node::{Node, NodeId, NodeState};
+use crate::query::{QueryId, QuerySpec, SimTenantId, TemplateId};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Static cluster configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Total physical nodes owned by the service provider.
+    pub total_nodes: usize,
+    /// Provisioning-time model (node start-up + bulk load).
+    pub provisioning: ProvisioningModel,
+}
+
+impl ClusterConfig {
+    /// A cluster with `total_nodes` nodes and the Table 5.1 calibrated
+    /// provisioning model.
+    pub fn new(total_nodes: usize) -> Self {
+        ClusterConfig {
+            total_nodes,
+            provisioning: ProvisioningModel::paper_calibrated(),
+        }
+    }
+
+    /// A cluster whose provisioning is instantaneous (for tests and for
+    /// experiments that study steady-state behaviour only).
+    pub fn with_instant_provisioning(total_nodes: usize) -> Self {
+        ClusterConfig {
+            total_nodes,
+            provisioning: ProvisioningModel::instant(),
+        }
+    }
+}
+
+/// A completed query, reported by the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryCompletion {
+    /// The query.
+    pub query: QueryId,
+    /// Submitting tenant.
+    pub tenant: SimTenantId,
+    /// Template the query instantiated.
+    pub template: TemplateId,
+    /// Instance that executed it.
+    pub instance: InstanceId,
+    /// Submission instant.
+    pub submitted: SimTime,
+    /// Completion instant.
+    pub finished: SimTime,
+    /// Achieved latency (`finished - submitted`).
+    pub latency: SimDuration,
+    /// Latency this query would have achieved running *alone* on the same
+    /// instance (at the instance's parallelism when the query was submitted).
+    pub dedicated_latency: SimDuration,
+}
+
+impl QueryCompletion {
+    /// Slowdown relative to dedicated execution on the same instance
+    /// (1.0 = no multi-tenancy interference).
+    pub fn slowdown_vs_dedicated(&self) -> f64 {
+        if self.dedicated_latency == SimDuration::ZERO {
+            return 1.0;
+        }
+        self.latency.as_ms() as f64 / self.dedicated_latency.as_ms() as f64
+    }
+}
+
+/// Observable events produced by the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// An instance finished provisioning and can now serve queries.
+    InstanceReady {
+        /// The instance.
+        instance: InstanceId,
+        /// When it became ready.
+        at: SimTime,
+    },
+    /// A query finished.
+    QueryCompleted(QueryCompletion),
+    /// A tenant's data finished bulk loading onto an already-running
+    /// instance.
+    TenantLoaded {
+        /// Target instance.
+        instance: InstanceId,
+        /// The tenant whose data is now available.
+        tenant: SimTenantId,
+        /// When loading completed.
+        at: SimTime,
+    },
+    /// A node failed.
+    NodeFailed {
+        /// The failed node.
+        node: NodeId,
+        /// The instance it belonged to, if any.
+        instance: Option<InstanceId>,
+        /// When it failed.
+        at: SimTime,
+    },
+    /// A replacement node joined an instance, restoring its parallelism.
+    NodeReplaced {
+        /// The instance whose parallelism was restored.
+        instance: InstanceId,
+        /// The replacement node.
+        node: NodeId,
+        /// When the replacement became active.
+        at: SimTime,
+    },
+}
+
+impl SimEvent {
+    /// The instant at which the event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            SimEvent::InstanceReady { at, .. }
+            | SimEvent::TenantLoaded { at, .. }
+            | SimEvent::NodeFailed { at, .. }
+            | SimEvent::NodeReplaced { at, .. } => *at,
+            SimEvent::QueryCompleted(c) => c.finished,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum PendingKind {
+    CompletionCheck { instance: InstanceId, version: u64 },
+    InstanceReady(InstanceId),
+    TenantLoaded { instance: InstanceId, tenant: SimTenantId, gb_bits: u64 },
+    NodeFailure(NodeId),
+    NodeReplacement { instance: InstanceId, failed: NodeId, replacement: NodeId },
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Pending {
+    at: SimTime,
+    seq: u64,
+    kind: PendingKind,
+}
+
+/// The simulated shared cluster.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    now: SimTime,
+    nodes: Vec<Node>,
+    /// Hibernated nodes available for provisioning (LIFO for determinism).
+    free: Vec<NodeId>,
+    instances: Vec<MppdbInstance>,
+    heap: BinaryHeap<Reverse<Pending>>,
+    seq: u64,
+    next_query: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster with all nodes hibernated.
+    pub fn new(config: ClusterConfig) -> Self {
+        let nodes: Vec<Node> = (0..config.total_nodes as u32)
+            .map(|i| Node::new(NodeId(i)))
+            .collect();
+        // Pop from the back => nodes are handed out in ascending id order.
+        let free: Vec<NodeId> = nodes.iter().rev().map(Node::id).collect();
+        Cluster {
+            config,
+            now: SimTime::ZERO,
+            nodes,
+            free,
+            instances: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            next_query: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of hibernated nodes available for provisioning.
+    pub fn free_nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of nodes currently powered (starting or running).
+    pub fn powered_nodes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.state(), NodeState::Starting | NodeState::Running))
+            .count()
+    }
+
+    /// Looks up an instance.
+    pub fn instance(&self, id: InstanceId) -> SimResult<&MppdbInstance> {
+        self.instances
+            .get(id.0 as usize)
+            .ok_or(SimError::UnknownInstance(id))
+    }
+
+    /// Iterates over all instances ever created (including decommissioned).
+    pub fn instances(&self) -> impl Iterator<Item = &MppdbInstance> {
+        self.instances.iter()
+    }
+
+    fn instance_mut(&mut self, id: InstanceId) -> SimResult<&mut MppdbInstance> {
+        self.instances
+            .get_mut(id.0 as usize)
+            .ok_or(SimError::UnknownInstance(id))
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: PendingKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Pending { at, seq, kind }));
+    }
+
+    /// Provisions a new MPPDB instance on `node_count` nodes, bulk loading
+    /// the given `(tenant, data GB)` datasets. Returns the instance id; an
+    /// [`SimEvent::InstanceReady`] event fires when start-up and loading
+    /// complete (per the Table 5.1 model).
+    pub fn provision_instance(
+        &mut self,
+        node_count: usize,
+        tenants: &[(SimTenantId, f64)],
+    ) -> SimResult<InstanceId> {
+        if node_count == 0 || node_count > self.free.len() {
+            return Err(SimError::InsufficientNodes {
+                requested: node_count,
+                available: self.free.len(),
+            });
+        }
+        let mut group = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let id = self.free.pop().expect("checked above");
+            self.nodes[id.0 as usize].set_state(NodeState::Starting);
+            group.push(id);
+        }
+        let total_gb: f64 = tenants.iter().map(|(_, gb)| gb).sum();
+        let ready_at = self.now + self.config.provisioning.provision_time(node_count, total_gb);
+        let id = InstanceId(self.instances.len() as u32);
+        let hosted: BTreeMap<SimTenantId, f64> = tenants.iter().copied().collect();
+        self.instances
+            .push(MppdbInstance::new(id, group, hosted, ready_at, self.now));
+        if ready_at > self.now {
+            self.push_event(ready_at, PendingKind::InstanceReady(id));
+        } else {
+            // Instant provisioning: mark nodes running immediately.
+            self.mark_instance_ready(id);
+        }
+        Ok(id)
+    }
+
+    fn mark_instance_ready(&mut self, id: InstanceId) {
+        let nodes: Vec<NodeId> = self.instances[id.0 as usize].nodes().to_vec();
+        for n in nodes {
+            if self.nodes[n.0 as usize].state() == NodeState::Starting {
+                self.nodes[n.0 as usize].set_state(NodeState::Running);
+            }
+        }
+        self.instances[id.0 as usize].set_state(InstanceState::Ready);
+    }
+
+    /// Decommissions an instance, returning its nodes to the hibernated
+    /// pool. Any running queries are aborted; their count is returned.
+    pub fn decommission(&mut self, id: InstanceId) -> SimResult<usize> {
+        let inst = self.instance_mut(id)?;
+        if inst.state() == InstanceState::Decommissioned {
+            return Err(SimError::InstanceDecommissioned(id));
+        }
+        inst.set_state(InstanceState::Decommissioned);
+        inst.version += 1; // invalidate pending completion checks
+        let aborted = inst.drain_running().len();
+        let nodes: Vec<NodeId> = inst.nodes().to_vec();
+        for n in nodes {
+            if self.nodes[n.0 as usize].state() != NodeState::Failed {
+                self.nodes[n.0 as usize].set_state(NodeState::Hibernated);
+                self.free.push(n);
+            }
+        }
+        Ok(aborted)
+    }
+
+    /// Submits a query to a ready instance hosting the tenant's data.
+    /// Execution follows processor sharing; a
+    /// [`SimEvent::QueryCompleted`] fires when it finishes.
+    pub fn submit(&mut self, instance: InstanceId, spec: QuerySpec) -> SimResult<QueryId> {
+        let now = self.now;
+        let id = QueryId(self.next_query);
+        let inst = self.instance_mut(instance)?;
+        match inst.state() {
+            InstanceState::Ready => {}
+            InstanceState::Provisioning { .. } => {
+                return Err(SimError::InstanceNotReady(instance))
+            }
+            InstanceState::Decommissioned => {
+                return Err(SimError::InstanceDecommissioned(instance))
+            }
+        }
+        if !inst.hosts(spec.tenant) {
+            return Err(SimError::TenantNotHosted {
+                instance,
+                tenant: spec.tenant,
+            });
+        }
+        let dedicated_ms = isolated_latency_ms(&spec.template, spec.data_gb, inst.effective_nodes());
+        inst.advance(now);
+        inst.push_running(RunningQuery {
+            id,
+            spec,
+            submitted: now,
+            remaining_ms: dedicated_ms,
+            dedicated_ms,
+        });
+        inst.version += 1;
+        let version = inst.version;
+        let next_check = inst.next_completion_time(now);
+        self.next_query += 1;
+        if let Some(at) = next_check {
+            self.push_event(at, PendingKind::CompletionCheck { instance, version });
+        }
+        Ok(id)
+    }
+
+    /// Bulk loads an additional tenant's data onto a ready instance. The
+    /// tenant becomes queryable when [`SimEvent::TenantLoaded`] fires.
+    pub fn load_tenant(
+        &mut self,
+        instance: InstanceId,
+        tenant: SimTenantId,
+        gb: f64,
+    ) -> SimResult<()> {
+        let load = self.config.provisioning.bulk_load_time(gb);
+        let now = self.now;
+        let inst = self.instance_mut(instance)?;
+        match inst.state() {
+            InstanceState::Ready => {}
+            InstanceState::Provisioning { .. } => {
+                return Err(SimError::InstanceNotReady(instance))
+            }
+            InstanceState::Decommissioned => {
+                return Err(SimError::InstanceDecommissioned(instance))
+            }
+        }
+        if load == SimDuration::ZERO {
+            inst.add_hosted(tenant, gb);
+            return Ok(());
+        }
+        self.push_event(
+            now + load,
+            PendingKind::TenantLoaded {
+                instance,
+                tenant,
+                gb_bits: gb.to_bits(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drops a tenant's data from an instance (used by re-consolidation).
+    pub fn unload_tenant(&mut self, instance: InstanceId, tenant: SimTenantId) -> SimResult<f64> {
+        let inst = self.instance_mut(instance)?;
+        inst.remove_hosted(tenant)
+            .ok_or(SimError::TenantNotHosted { instance, tenant })
+    }
+
+    /// Cancels a running query, returning its spec and original submission
+    /// time so the caller can re-route it (e.g. to a freshly scaled-out
+    /// MPPDB). No completion event will fire for the cancelled query.
+    pub fn cancel_query(
+        &mut self,
+        instance: InstanceId,
+        query: QueryId,
+    ) -> SimResult<(QuerySpec, SimTime)> {
+        let now = self.now;
+        let inst = self.instance_mut(instance)?;
+        inst.advance(now);
+        let pos = inst
+            .running
+            .iter()
+            .position(|q| q.id == query)
+            .ok_or(SimError::UnknownQuery(query))?;
+        let q = inst.running.remove(pos);
+        inst.version += 1;
+        let version = inst.version;
+        let next_check = inst.next_completion_time(now);
+        if let Some(at) = next_check {
+            self.push_event(at, PendingKind::CompletionCheck { instance, version });
+        }
+        Ok((q.spec, q.submitted))
+    }
+
+    /// Schedules a node failure at absolute time `at`.
+    pub fn inject_node_failure(&mut self, node: NodeId, at: SimTime) -> SimResult<()> {
+        if node.0 as usize >= self.nodes.len() {
+            return Err(SimError::UnknownNode(node));
+        }
+        if at < self.now {
+            return Err(SimError::TimeInPast);
+        }
+        self.push_event(at, PendingKind::NodeFailure(node));
+        Ok(())
+    }
+
+    /// The instant of the next pending internal event, if any.
+    pub fn peek_next_event_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(p)| p.at)
+    }
+
+    /// Advances simulated time to `until`, processing every internal event
+    /// scheduled at or before it, and returns the observable events in
+    /// chronological order.
+    pub fn run_until(&mut self, until: SimTime) -> Vec<SimEvent> {
+        let mut out = Vec::new();
+        while let Some(Reverse(p)) = self.heap.peek() {
+            if p.at > until {
+                break;
+            }
+            let Reverse(p) = self.heap.pop().expect("peeked");
+            self.now = self.now.max(p.at);
+            self.process(p, &mut out);
+        }
+        self.now = self.now.max(until);
+        out
+    }
+
+    /// Runs every remaining internal event to quiescence and returns the
+    /// observable events.
+    pub fn run_to_quiescence(&mut self) -> Vec<SimEvent> {
+        let mut out = Vec::new();
+        while let Some(Reverse(p)) = self.heap.pop() {
+            self.now = self.now.max(p.at);
+            self.process(p, &mut out);
+        }
+        out
+    }
+
+    fn process(&mut self, p: Pending, out: &mut Vec<SimEvent>) {
+        match p.kind {
+            PendingKind::InstanceReady(id) => {
+                if self.instances[id.0 as usize].state() == InstanceState::Decommissioned {
+                    return;
+                }
+                self.mark_instance_ready(id);
+                out.push(SimEvent::InstanceReady {
+                    instance: id,
+                    at: p.at,
+                });
+            }
+            PendingKind::CompletionCheck { instance, version } => {
+                let now = self.now;
+                let inst = &mut self.instances[instance.0 as usize];
+                if inst.version != version || inst.state() == InstanceState::Decommissioned {
+                    return; // stale: concurrency changed since scheduling
+                }
+                inst.advance(now);
+                let finished = inst.take_finished();
+                inst.version += 1;
+                let version = inst.version;
+                if let Some(at) = inst.next_completion_time(now) {
+                    self.push_event(at, PendingKind::CompletionCheck { instance, version });
+                }
+                for q in finished {
+                    out.push(SimEvent::QueryCompleted(QueryCompletion {
+                        query: q.id,
+                        tenant: q.spec.tenant,
+                        template: q.spec.template.id,
+                        instance,
+                        submitted: q.submitted,
+                        finished: now,
+                        latency: now.saturating_since(q.submitted),
+                        dedicated_latency: SimDuration::from_ms_f64(q.dedicated_ms),
+                    }));
+                }
+            }
+            PendingKind::TenantLoaded {
+                instance,
+                tenant,
+                gb_bits,
+            } => {
+                let inst = &mut self.instances[instance.0 as usize];
+                if inst.state() == InstanceState::Decommissioned {
+                    return;
+                }
+                inst.add_hosted(tenant, f64::from_bits(gb_bits));
+                out.push(SimEvent::TenantLoaded {
+                    instance,
+                    tenant,
+                    at: p.at,
+                });
+            }
+            PendingKind::NodeFailure(node) => {
+                let state = self.nodes[node.0 as usize].state();
+                if state == NodeState::Failed {
+                    return; // already failed
+                }
+                self.nodes[node.0 as usize].set_state(NodeState::Failed);
+                // Remove from the free pool if hibernated.
+                if state == NodeState::Hibernated {
+                    self.free.retain(|n| *n != node);
+                    out.push(SimEvent::NodeFailed {
+                        node,
+                        instance: None,
+                        at: p.at,
+                    });
+                    return;
+                }
+                let owner = self
+                    .instances
+                    .iter()
+                    .find(|i| {
+                        i.state() != InstanceState::Decommissioned && i.nodes().contains(&node)
+                    })
+                    .map(MppdbInstance::id);
+                if let Some(owner_id) = owner {
+                    self.instances[owner_id.0 as usize].mark_node_failed();
+                    // Thrifty replaces a failed node by starting a fresh one
+                    // (Chapter 4.4), if the pool has one.
+                    if let Some(replacement) = self.free.pop() {
+                        self.nodes[replacement.0 as usize].set_state(NodeState::Starting);
+                        let ready = p.at + self.config.provisioning.startup_time(1);
+                        self.push_event(
+                            ready,
+                            PendingKind::NodeReplacement {
+                                instance: owner_id,
+                                failed: node,
+                                replacement,
+                            },
+                        );
+                    }
+                }
+                out.push(SimEvent::NodeFailed {
+                    node,
+                    instance: owner,
+                    at: p.at,
+                });
+            }
+            PendingKind::NodeReplacement {
+                instance,
+                failed,
+                replacement,
+            } => {
+                let inst = &mut self.instances[instance.0 as usize];
+                if inst.state() == InstanceState::Decommissioned {
+                    self.nodes[replacement.0 as usize].set_state(NodeState::Hibernated);
+                    self.free.push(replacement);
+                    return;
+                }
+                self.nodes[replacement.0 as usize].set_state(NodeState::Running);
+                inst.replace_failed_node(failed, replacement);
+                out.push(SimEvent::NodeReplaced {
+                    instance,
+                    node: replacement,
+                    at: p.at,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryTemplate;
+
+    fn linear_template() -> QueryTemplate {
+        QueryTemplate::new(TemplateId(1), 600.0, 0.0)
+    }
+
+    fn ready_cluster(nodes: usize) -> (Cluster, InstanceId) {
+        let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(nodes));
+        let id = c
+            .provision_instance(nodes, &[(SimTenantId(0), 100.0), (SimTenantId(1), 100.0)])
+            .unwrap();
+        (c, id)
+    }
+
+    #[test]
+    fn instant_provisioning_is_immediately_ready() {
+        let (c, id) = ready_cluster(4);
+        assert_eq!(c.instance(id).unwrap().state(), InstanceState::Ready);
+        assert_eq!(c.free_nodes(), 0);
+        assert_eq!(c.powered_nodes(), 4);
+    }
+
+    #[test]
+    fn single_query_finishes_at_dedicated_latency() {
+        let (mut c, id) = ready_cluster(4);
+        let spec = QuerySpec::new(linear_template(), 100.0, SimTenantId(0));
+        c.submit(id, spec).unwrap();
+        // 600 ms/GB * 100 GB / 4 nodes = 15 000 ms.
+        let events = c.run_until(SimTime::from_secs(100));
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            SimEvent::QueryCompleted(comp) => {
+                assert_eq!(comp.latency, SimDuration::from_ms(15_000));
+                assert!((comp.slowdown_vs_dedicated() - 1.0).abs() < 1e-6);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_concurrent_queries_run_twice_as_slow() {
+        // Reproduces the 2T-CON observation of Figure 1.1a.
+        let (mut c, id) = ready_cluster(4);
+        let spec0 = QuerySpec::new(linear_template(), 100.0, SimTenantId(0));
+        let spec1 = QuerySpec::new(linear_template(), 100.0, SimTenantId(1));
+        c.submit(id, spec0).unwrap();
+        c.submit(id, spec1).unwrap();
+        let events = c.run_until(SimTime::from_secs(100));
+        assert_eq!(events.len(), 2);
+        for e in &events {
+            match e {
+                SimEvent::QueryCompleted(comp) => {
+                    assert_eq!(comp.latency, SimDuration::from_ms(30_000));
+                    assert!((comp.slowdown_vs_dedicated() - 2.0).abs() < 1e-6);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_queries_see_no_interference() {
+        // Reproduces the 2T-SEQ observation of Figure 1.1a.
+        let (mut c, id) = ready_cluster(4);
+        let spec0 = QuerySpec::new(linear_template(), 100.0, SimTenantId(0));
+        c.submit(id, spec0).unwrap();
+        let e1 = c.run_until(SimTime::from_secs(100));
+        let spec1 = QuerySpec::new(linear_template(), 100.0, SimTenantId(1));
+        c.submit(id, spec1).unwrap();
+        let e2 = c.run_until(SimTime::from_secs(200));
+        for e in e1.iter().chain(e2.iter()) {
+            if let SimEvent::QueryCompleted(comp) = e {
+                assert_eq!(comp.latency, SimDuration::from_ms(15_000));
+            }
+        }
+    }
+
+    #[test]
+    fn late_arrival_shares_fairly() {
+        // q0 runs alone for 5 s, then shares with q1: piecewise PS schedule.
+        let (mut c, id) = ready_cluster(4);
+        let t = linear_template();
+        c.submit(id, QuerySpec::new(t, 100.0, SimTenantId(0))).unwrap(); // 15 s work
+        c.run_until(SimTime::from_secs(5));
+        c.submit(id, QuerySpec::new(t, 100.0, SimTenantId(1))).unwrap(); // 15 s work
+        let events = c.run_to_quiescence();
+        let mut latencies: Vec<(SimTenantId, u64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::QueryCompleted(comp) => Some((comp.tenant, comp.latency.as_ms())),
+                _ => None,
+            })
+            .collect();
+        latencies.sort();
+        // q0: 5 s solo (10 s work left) + 20 s shared = 25 s total.
+        // q1: shares until q0 finishes at t=25 (has done 10 s of its 15 s),
+        //     then 5 s solo: finishes at t=30, latency 25 s.
+        assert_eq!(latencies, vec![(SimTenantId(0), 25_000), (SimTenantId(1), 25_000)]);
+    }
+
+    #[test]
+    fn provisioning_delay_follows_the_model() {
+        let mut c = Cluster::new(ClusterConfig::new(4));
+        let id = c
+            .provision_instance(2, &[(SimTenantId(0), 200.0)])
+            .unwrap();
+        assert!(matches!(
+            c.instance(id).unwrap().state(),
+            InstanceState::Provisioning { .. }
+        ));
+        let spec = QuerySpec::new(linear_template(), 200.0, SimTenantId(0));
+        assert_eq!(c.submit(id, spec), Err(SimError::InstanceNotReady(id)));
+        let events = c.run_until(SimTime::from_secs(40_000));
+        assert_eq!(events.len(), 1);
+        if let SimEvent::InstanceReady { at, .. } = events[0] {
+            let expected = ClusterConfig::new(4).provisioning.provision_time(2, 200.0);
+            assert_eq!(at, SimTime::ZERO + expected);
+        } else {
+            panic!("expected readiness event");
+        }
+        assert!(c.submit(id, spec).is_ok());
+    }
+
+    #[test]
+    fn decommission_returns_nodes_and_aborts_queries() {
+        let (mut c, id) = ready_cluster(4);
+        c.submit(id, QuerySpec::new(linear_template(), 100.0, SimTenantId(0)))
+            .unwrap();
+        let aborted = c.decommission(id).unwrap();
+        assert_eq!(aborted, 1);
+        assert_eq!(c.free_nodes(), 4);
+        assert!(c.run_to_quiescence().is_empty());
+        assert_eq!(c.decommission(id), Err(SimError::InstanceDecommissioned(id)));
+    }
+
+    #[test]
+    fn node_failure_degrades_then_replacement_restores() {
+        // Replacement takes 60 s per node so we can observe the degraded
+        // window; instance provisioning itself loads no data (0 GB) and
+        // completes after the node start-up time.
+        let provisioning = ProvisioningModel {
+            startup_base_secs: 0.0,
+            startup_secs_per_node: 60.0,
+            load_base_secs: 0.0,
+            load_secs_per_gb: 0.0,
+        };
+        let mut c = Cluster::new(ClusterConfig {
+            total_nodes: 5,
+            provisioning,
+        });
+        let id = c.provision_instance(4, &[(SimTenantId(0), 100.0)]).unwrap();
+        c.run_to_quiescence();
+        let victim = c.instance(id).unwrap().nodes()[0];
+        c.inject_node_failure(victim, SimTime::from_secs(400)).unwrap();
+        let events = c.run_until(SimTime::from_secs(400));
+        assert!(matches!(
+            events[0],
+            SimEvent::NodeFailed { instance: Some(i), .. } if i == id
+        ));
+        // Degraded until the replacement node starts (60 s later).
+        assert_eq!(c.instance(id).unwrap().effective_nodes(), 3);
+        let events = c.run_until(SimTime::from_secs(460));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SimEvent::NodeReplaced { instance, .. } if *instance == id)));
+        assert_eq!(c.instance(id).unwrap().effective_nodes(), 4);
+    }
+
+    #[test]
+    fn failure_without_spare_leaves_instance_degraded() {
+        let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(4));
+        let id = c.provision_instance(4, &[(SimTenantId(0), 100.0)]).unwrap();
+        let victim = c.instance(id).unwrap().nodes()[2];
+        c.inject_node_failure(victim, SimTime::from_secs(1)).unwrap();
+        c.run_to_quiescence();
+        assert_eq!(c.instance(id).unwrap().effective_nodes(), 3);
+    }
+
+    #[test]
+    fn submit_requires_hosted_tenant() {
+        let (mut c, id) = ready_cluster(4);
+        let spec = QuerySpec::new(linear_template(), 100.0, SimTenantId(42));
+        assert_eq!(
+            c.submit(id, spec),
+            Err(SimError::TenantNotHosted {
+                instance: id,
+                tenant: SimTenantId(42)
+            })
+        );
+    }
+
+    #[test]
+    fn load_tenant_makes_tenant_queryable_after_delay() {
+        let mut c = Cluster::new(ClusterConfig::new(8));
+        let id = c.provision_instance(2, &[(SimTenantId(0), 100.0)]).unwrap();
+        c.run_to_quiescence();
+        let spec = QuerySpec::new(linear_template(), 100.0, SimTenantId(7));
+        assert!(c.submit(id, spec).is_err());
+        c.load_tenant(id, SimTenantId(7), 100.0).unwrap();
+        let events = c.run_to_quiescence();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SimEvent::TenantLoaded { tenant, .. } if *tenant == SimTenantId(7))));
+        assert!(c.submit(id, spec).is_ok());
+    }
+
+    #[test]
+    fn hibernated_node_failure_shrinks_the_pool() {
+        let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(3));
+        c.inject_node_failure(NodeId(2), SimTime::from_secs(1)).unwrap();
+        let events = c.run_to_quiescence();
+        assert!(matches!(
+            events[0],
+            SimEvent::NodeFailed { instance: None, .. }
+        ));
+        assert_eq!(c.free_nodes(), 2);
+        // The failed node can no longer be provisioned.
+        let id = c.provision_instance(2, &[(SimTenantId(0), 1.0)]).unwrap();
+        assert!(!c.instance(id).unwrap().nodes().contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn double_failure_of_one_node_is_idempotent() {
+        let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(4));
+        let id = c.provision_instance(2, &[(SimTenantId(0), 1.0)]).unwrap();
+        let victim = c.instance(id).unwrap().nodes()[0];
+        c.inject_node_failure(victim, SimTime::from_secs(1)).unwrap();
+        c.inject_node_failure(victim, SimTime::from_secs(2)).unwrap();
+        let events = c.run_to_quiescence();
+        let failures = events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::NodeFailed { .. }))
+            .count();
+        assert_eq!(failures, 1, "the second failure of a dead node is a no-op");
+        assert_eq!(c.instance(id).unwrap().effective_nodes(), 2, "replaced");
+    }
+
+    #[test]
+    fn failures_cannot_be_scheduled_in_the_past() {
+        let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(2));
+        c.run_until(SimTime::from_secs(100));
+        assert_eq!(
+            c.inject_node_failure(NodeId(0), SimTime::from_secs(50)),
+            Err(SimError::TimeInPast)
+        );
+        assert_eq!(
+            c.inject_node_failure(NodeId(9), SimTime::from_secs(200)),
+            Err(SimError::UnknownNode(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn insufficient_nodes_is_reported() {
+        let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(2));
+        assert_eq!(
+            c.provision_instance(4, &[]),
+            Err(SimError::InsufficientNodes {
+                requested: 4,
+                available: 2
+            })
+        );
+    }
+
+    #[test]
+    fn cancelled_queries_never_complete() {
+        let (mut c, id) = ready_cluster(2);
+        let t = linear_template();
+        let q0 = c.submit(id, QuerySpec::new(t, 10.0, SimTenantId(0))).unwrap();
+        let q1 = c.submit(id, QuerySpec::new(t, 10.0, SimTenantId(1))).unwrap();
+        c.run_until(SimTime::from_secs(1));
+        let (spec, submitted) = c.cancel_query(id, q0).unwrap();
+        assert_eq!(spec.tenant, SimTenantId(0));
+        assert_eq!(submitted, SimTime::ZERO);
+        let events = c.run_to_quiescence();
+        let completed: Vec<QueryId> = events
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::QueryCompleted(comp) => Some(comp.query),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completed, vec![q1], "only the surviving query completes");
+        // The survivor speeds back up to full rate after the cancel:
+        // 1 s shared (0.5 s of service) then solo for the rest.
+        if let SimEvent::QueryCompleted(comp) = events[0] {
+            // work = 600*10/2 nodes = 3 s; 0.5 s done at cancel (shared);
+            // the remaining 2.5 s run solo: finishes at 3.5 s.
+            assert_eq!(comp.finished, SimTime::from_ms(3_500));
+        }
+        assert_eq!(c.cancel_query(id, q0), Err(SimError::UnknownQuery(q0)));
+    }
+
+    #[test]
+    fn events_come_out_in_chronological_order() {
+        let (mut c, id) = ready_cluster(2);
+        let t = linear_template();
+        // Three queries with distinct finish times.
+        c.submit(id, QuerySpec::new(t, 10.0, SimTenantId(0))).unwrap();
+        c.submit(id, QuerySpec::new(t, 20.0, SimTenantId(1))).unwrap();
+        c.run_until(SimTime::from_secs(2));
+        c.submit(id, QuerySpec::new(t, 5.0, SimTenantId(0))).unwrap();
+        let events = c.run_to_quiescence();
+        let times: Vec<u64> = events.iter().map(|e| e.at().as_ms()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+}

@@ -1,0 +1,152 @@
+//! Latency statistics helpers.
+//!
+//! Small, allocation-light summaries used by both the Thrifty SLA accounting
+//! layer and the experiment harness (e.g. the normalized query performance
+//! plots of Figure 7.7).
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary of a latency (or any nonnegative duration) sample.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples_ms: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_ms.push(d.as_ms());
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples_ms.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples_ms.iter().map(|&x| x as u128).sum();
+        SimDuration::from_ms((sum / self.samples_ms.len() as u128) as u64)
+    }
+
+    /// Maximum, or zero if empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_ms(self.samples_ms.iter().copied().max().unwrap_or(0))
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method, or zero if
+    /// empty.
+    pub fn quantile(&mut self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        if self.samples_ms.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples_ms.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples_ms.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        SimDuration::from_ms(self.samples_ms[rank - 1])
+    }
+}
+
+/// Summary of normalized performance values (achieved / baseline latency;
+/// 1.0 means "as fast as on a dedicated MPPDB").
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NormalizedPerf {
+    values: Vec<f64>,
+}
+
+impl NormalizedPerf {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        NormalizedPerf::default()
+    }
+
+    /// Records one normalized performance observation.
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value.is_finite() && value >= 0.0);
+        self.values.push(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of observations at or below `threshold` (e.g. the fraction
+    /// of queries that met the SLA with threshold 1.0 plus tolerance).
+    pub fn fraction_at_most(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 1.0;
+        }
+        self.values.iter().filter(|v| **v <= threshold).count() as f64 / self.values.len() as f64
+    }
+
+    /// Worst observed slowdown, or 1.0 if empty.
+    pub fn worst(&self) -> f64 {
+        self.values.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// The raw observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_summarize() {
+        let mut s = LatencyStats::new();
+        for ms in [100, 200, 300, 400, 1000] {
+            s.record(SimDuration::from_ms(ms));
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean().as_ms(), 400);
+        assert_eq!(s.max().as_ms(), 1000);
+        assert_eq!(s.quantile(0.5).as_ms(), 300);
+        assert_eq!(s.quantile(1.0).as_ms(), 1000);
+        assert_eq!(s.quantile(0.0).as_ms(), 100);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        assert_eq!(s.max(), SimDuration::ZERO);
+        assert_eq!(s.quantile(0.9), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn normalized_perf_fractions() {
+        let mut p = NormalizedPerf::new();
+        for v in [1.0, 1.0, 1.2, 1.5, 1.8] {
+            p.record(v);
+        }
+        assert_eq!(p.count(), 5);
+        assert!((p.fraction_at_most(1.05) - 0.4).abs() < 1e-12);
+        assert!((p.worst() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_normalized_perf_is_fully_compliant() {
+        let p = NormalizedPerf::new();
+        assert_eq!(p.fraction_at_most(1.0), 1.0);
+        assert_eq!(p.worst(), 1.0);
+    }
+}

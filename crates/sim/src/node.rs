@@ -1,0 +1,79 @@
+//! Machine nodes.
+//!
+//! Thrifty assumes all nodes in the cluster are identical in configuration
+//! (Chapter 3 of the paper), so a node carries no capacity vector — only an
+//! identity and a lifecycle state. Nodes that the deployment plan does not use
+//! are hibernated (switched off) to realize the cost saving.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a physical machine node in the shared cluster.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Lifecycle state of a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Switched off; not consuming resources. The default for nodes that the
+    /// deployment plan does not use.
+    Hibernated,
+    /// Booting / joining an MPPDB instance.
+    Starting,
+    /// Running as part of an MPPDB instance.
+    Running,
+    /// Failed; awaiting replacement.
+    Failed,
+}
+
+/// A physical node in the cluster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    state: NodeState,
+}
+
+impl Node {
+    /// Creates a hibernated node.
+    pub fn new(id: NodeId) -> Self {
+        Node {
+            id,
+            state: NodeState::Hibernated,
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's current lifecycle state.
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    pub(crate) fn set_state(&mut self, state: NodeState) {
+        self.state = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_start_hibernated() {
+        let n = Node::new(NodeId(7));
+        assert_eq!(n.id(), NodeId(7));
+        assert_eq!(n.state(), NodeState::Hibernated);
+        assert_eq!(n.id().to_string(), "node7");
+    }
+}

@@ -1,0 +1,161 @@
+//! Interval and activity-profile utilities.
+//!
+//! The grouping algorithms operate on *epoch activity* (Chapter 5): the
+//! timeline is cut into fixed-width epochs and a tenant is active in an epoch
+//! if one of its queries is executing during it. This module converts query
+//! logs (busy intervals) into epoch sets and computes corpus-level statistics
+//! such as the average active-tenant ratio the paper reports (≈ 8.9–12%
+//! under default parameters).
+
+/// Merges a list of half-open `[start, end)` millisecond intervals into a
+/// sorted, non-overlapping list. Empty intervals are dropped.
+pub fn merge_intervals(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    intervals.retain(|&(s, e)| e > s);
+    intervals.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+    for (s, e) in intervals {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Converts merged busy intervals into the sorted set of active epoch
+/// indices, for epochs of `epoch_ms` covering `[0, horizon_ms)`. Intervals
+/// are clipped to the horizon.
+///
+/// # Panics
+/// Panics if `epoch_ms` is zero.
+pub fn epochs_from_intervals(
+    intervals: &[(u64, u64)],
+    epoch_ms: u64,
+    horizon_ms: u64,
+) -> Vec<u32> {
+    assert!(epoch_ms > 0, "epoch size must be positive");
+    let mut out: Vec<u32> = Vec::new();
+    for &(s, e) in intervals {
+        let s = s.min(horizon_ms);
+        let e = e.min(horizon_ms);
+        if e <= s {
+            continue;
+        }
+        let first = s / epoch_ms;
+        let last = (e - 1) / epoch_ms; // half-open end: last touched epoch
+        let start_idx = match out.last() {
+            Some(&prev) if prev as u64 >= first => prev as u64 + 1,
+            _ => first,
+        };
+        for idx in start_idx..=last {
+            out.push(idx as u32);
+        }
+    }
+    out
+}
+
+/// Total epochs in a horizon (the `d` of the LIVBPwFC formulation).
+pub fn epoch_count(epoch_ms: u64, horizon_ms: u64) -> u32 {
+    assert!(epoch_ms > 0, "epoch size must be positive");
+    horizon_ms.div_ceil(epoch_ms) as u32
+}
+
+/// Corpus-level activity statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ActivityStats {
+    /// Time-averaged fraction of tenants that are active
+    /// (Σ busy time / (T × horizon)).
+    pub average_active_ratio: f64,
+    /// Maximum number of tenants concurrently active at any instant.
+    pub max_concurrent_active: usize,
+}
+
+/// Computes corpus statistics from per-tenant merged busy intervals.
+pub fn activity_stats(per_tenant: &[Vec<(u64, u64)>], horizon_ms: u64) -> ActivityStats {
+    assert!(horizon_ms > 0, "horizon must be positive");
+    let tenants = per_tenant.len().max(1);
+    let busy_total: u128 = per_tenant
+        .iter()
+        .flat_map(|iv| iv.iter())
+        .map(|&(s, e)| (e.min(horizon_ms).saturating_sub(s.min(horizon_ms))) as u128)
+        .sum();
+    // Sweep-line over interval boundaries for the concurrency maximum.
+    let mut boundaries: Vec<(u64, i32)> = Vec::new();
+    for iv in per_tenant {
+        for &(s, e) in iv {
+            let (s, e) = (s.min(horizon_ms), e.min(horizon_ms));
+            if e > s {
+                boundaries.push((s, 1));
+                boundaries.push((e, -1));
+            }
+        }
+    }
+    boundaries.sort_unstable();
+    let mut cur = 0i32;
+    let mut max = 0i32;
+    for (_, delta) in boundaries {
+        cur += delta;
+        max = max.max(cur);
+    }
+    ActivityStats {
+        average_active_ratio: busy_total as f64 / (tenants as u128 * horizon_ms as u128) as f64,
+        max_concurrent_active: max as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_handles_overlap_touch_and_gap() {
+        let merged = merge_intervals(vec![(10, 20), (15, 25), (25, 30), (40, 50), (5, 5)]);
+        assert_eq!(merged, vec![(10, 30), (40, 50)]);
+    }
+
+    #[test]
+    fn merge_of_empty_is_empty() {
+        assert!(merge_intervals(vec![]).is_empty());
+    }
+
+    #[test]
+    fn epochs_cover_touched_epochs_only() {
+        // Epochs of 10 ms. Interval [5, 25) touches epochs 0, 1, 2;
+        // [30, 40) touches epoch 3 only (half-open).
+        let e = epochs_from_intervals(&[(5, 25), (30, 40)], 10, 100);
+        assert_eq!(e, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn epochs_are_deduplicated_across_adjacent_intervals() {
+        let e = epochs_from_intervals(&[(0, 5), (6, 9)], 10, 100);
+        assert_eq!(e, vec![0]);
+    }
+
+    #[test]
+    fn epochs_clip_to_horizon() {
+        let e = epochs_from_intervals(&[(95, 250)], 10, 100);
+        assert_eq!(e, vec![9]);
+        assert!(epochs_from_intervals(&[(150, 250)], 10, 100).is_empty());
+    }
+
+    #[test]
+    fn epoch_count_rounds_up() {
+        assert_eq!(epoch_count(10, 100), 10);
+        assert_eq!(epoch_count(10, 101), 11);
+        assert_eq!(epoch_count(30_000, 86_400_000), 2880);
+    }
+
+    #[test]
+    fn stats_measure_ratio_and_concurrency() {
+        let per_tenant = vec![
+            vec![(0, 50)],        // busy half the horizon
+            vec![(25, 75)],       // overlaps the first tenant for 25 ms
+            vec![],               // never active
+            vec![(90, 200)],      // clipped to (90, 100)
+        ];
+        let s = activity_stats(&per_tenant, 100);
+        assert!((s.average_active_ratio - 110.0 / 400.0).abs() < 1e-12);
+        assert_eq!(s.max_concurrent_active, 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Generation configuration (the knobs of Table 7.1 plus the §7.1 constants).
+
+use serde::{Deserialize, Serialize};
+
+/// The §7.4 scenario modifiers that raise the active-tenant ratio.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
+pub enum ActivityScenario {
+    /// Unmodified §7.1 composition (tenants spread over seven time zones,
+    /// lunch break between morning and afternoon sessions). Measured active
+    /// ratio ≈ 12% in the paper.
+    #[default]
+    Default,
+    /// Modification (1): tenants get only the +0 or +3 offsets ("tenants are
+    /// all from North America"). Paper ratio 25.1%.
+    NorthAmericaOnly,
+    /// Modification (2): North America only *and* no lunch hour. Paper ratio
+    /// 30.7%.
+    NorthAmericaNoLunch,
+    /// Modification (3): all tenants at +0 ("all from the west coast") and no
+    /// lunch hour. Paper ratio 34.4%.
+    SingleZoneNoLunch,
+}
+
+impl ActivityScenario {
+    /// The time-zone offsets (in hours) available under this scenario.
+    /// §7.1 lists: +0 Seattle, +3 New York, +5 São Paulo, +8 London,
+    /// +16 Beijing, +17 Japan, +19 Sydney.
+    pub fn offsets(self) -> &'static [u64] {
+        match self {
+            ActivityScenario::Default => &[0, 3, 5, 8, 16, 17, 19],
+            ActivityScenario::NorthAmericaOnly | ActivityScenario::NorthAmericaNoLunch => &[0, 3],
+            ActivityScenario::SingleZoneNoLunch => &[0],
+        }
+    }
+
+    /// Whether tenants take the two-hour lunch break between the morning and
+    /// afternoon sessions.
+    pub fn has_lunch_break(self) -> bool {
+        matches!(
+            self,
+            ActivityScenario::Default | ActivityScenario::NorthAmericaOnly
+        )
+    }
+}
+
+/// Configuration of the two-step log generation of §7.1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GenerationConfig {
+    /// Master seed; every stochastic choice derives from it.
+    pub seed: u64,
+    /// Total number of tenants `T` (Table 7.1: 1000 / **5000** / 10000).
+    pub tenants: usize,
+    /// Zipf skew of the tenant-size distribution (Table 7.1 default 0.8).
+    pub theta: f64,
+    /// Parallelism levels tenants can request. §7.1 prepared 2/4/8/16/32-node
+    /// MPPDB instances; rank order must be ascending (smallest first — the
+    /// most common size).
+    pub parallelism_levels: Vec<u32>,
+    /// GB of data per requested node (§7.1: "each node gets a 100 GB data
+    /// partition").
+    pub gb_per_node: f64,
+    /// Session trials collected per (parallelism, benchmark) in Step 1
+    /// (§7.1 repeats the 3-hour procedure 100 times).
+    pub session_trials: usize,
+    /// Length of one Step-1 session (3 hours in §7.1).
+    pub session_hours: u64,
+    /// Maximum autonomous users per tenant (`S` is uniform on `1..=max_users`).
+    pub max_users: u32,
+    /// Maximum batch size (`M` is uniform on `1..=max_batch`).
+    pub max_batch: u32,
+    /// Probability that a user action is a batch (`(b)`) rather than a
+    /// single query (`(a)`). §7.1 only says the users follow "a probability
+    /// distribution P" instantiated as uniform; this knob is the calibration
+    /// point for the single-vs-batch mix (see DESIGN.md on calibrating the
+    /// corpus to the paper's consolidation regime).
+    pub batch_probability: f64,
+    /// Think-time bounds in seconds (`W` uniform on `think_secs.0..=think_secs.1`).
+    pub think_secs: (u64, u64),
+    /// Horizon of the composed logs in days (§7.1 generates 30-day logs).
+    pub horizon_days: u64,
+    /// Weekday count per week (5 working days then 2 weekend days).
+    pub workdays_per_week: u64,
+    /// Number of shared public holidays within the horizon (§7.1: two).
+    pub holidays: u64,
+    /// Activity scenario (§7.4 modifiers).
+    pub scenario: ActivityScenario,
+}
+
+impl GenerationConfig {
+    /// The Table 7.1 default configuration at full paper scale
+    /// (T = 5000, θ = 0.8, 30-day horizon).
+    pub fn paper_default(seed: u64) -> Self {
+        GenerationConfig {
+            seed,
+            tenants: 5000,
+            theta: 0.8,
+            parallelism_levels: vec![2, 4, 8, 16, 32],
+            gb_per_node: 100.0,
+            session_trials: 100,
+            session_hours: 3,
+            max_users: 5,
+            max_batch: 10,
+            batch_probability: 0.25,
+            think_secs: (3, 600),
+            horizon_days: 30,
+            workdays_per_week: 5,
+            holidays: 2,
+            scenario: ActivityScenario::Default,
+        }
+    }
+
+    /// A reduced-scale configuration for fast tests and default harness runs:
+    /// fewer tenants, fewer session trials, one-week horizon. The statistical
+    /// structure (time zones, sessions, batches) is unchanged.
+    pub fn small(seed: u64, tenants: usize) -> Self {
+        GenerationConfig {
+            tenants,
+            session_trials: 12,
+            horizon_days: 7,
+            ..GenerationConfig::paper_default(seed)
+        }
+    }
+
+    /// Horizon length in milliseconds.
+    pub fn horizon_ms(&self) -> u64 {
+        self.horizon_days * 24 * 3_600_000
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (empty levels, unordered levels,
+    /// zero tenants, bad think-time bounds, ...).
+    pub fn validate(&self) {
+        assert!(self.tenants > 0, "need at least one tenant");
+        assert!(
+            !self.parallelism_levels.is_empty(),
+            "need at least one parallelism level"
+        );
+        assert!(
+            self.parallelism_levels.windows(2).all(|w| w[0] < w[1]),
+            "parallelism levels must be strictly ascending"
+        );
+        assert!(self.parallelism_levels.iter().all(|&p| p > 0));
+        assert!(self.gb_per_node > 0.0);
+        assert!(self.session_trials > 0);
+        assert!(self.session_hours > 0);
+        assert!(self.max_users >= 1);
+        assert!(self.max_batch >= 1);
+        assert!(
+            (0.0..=1.0).contains(&self.batch_probability),
+            "batch probability must lie in [0, 1]"
+        );
+        assert!(self.think_secs.0 <= self.think_secs.1);
+        assert!(self.horizon_days >= 1);
+        assert!(self.workdays_per_week >= 1 && self.workdays_per_week <= 7);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_7_1() {
+        let c = GenerationConfig::paper_default(1);
+        c.validate();
+        assert_eq!(c.tenants, 5000);
+        assert!((c.theta - 0.8).abs() < 1e-12);
+        assert_eq!(c.parallelism_levels, vec![2, 4, 8, 16, 32]);
+        assert_eq!(c.horizon_days, 30);
+        assert_eq!(c.holidays, 2);
+    }
+
+    #[test]
+    fn scenario_offsets_follow_7_4() {
+        assert_eq!(ActivityScenario::Default.offsets().len(), 7);
+        assert_eq!(ActivityScenario::NorthAmericaOnly.offsets(), &[0, 3]);
+        assert_eq!(ActivityScenario::SingleZoneNoLunch.offsets(), &[0]);
+        assert!(ActivityScenario::NorthAmericaOnly.has_lunch_break());
+        assert!(!ActivityScenario::NorthAmericaNoLunch.has_lunch_break());
+        assert!(!ActivityScenario::SingleZoneNoLunch.has_lunch_break());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn validate_rejects_unordered_levels() {
+        let mut c = GenerationConfig::paper_default(1);
+        c.parallelism_levels = vec![4, 2];
+        c.validate();
+    }
+
+    #[test]
+    fn horizon_ms_is_days_times_day() {
+        let c = GenerationConfig::small(1, 10);
+        assert_eq!(c.horizon_ms(), 7 * 86_400_000);
+    }
+}

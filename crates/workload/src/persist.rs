@@ -1,0 +1,85 @@
+//! Corpus persistence.
+//!
+//! Generating a paper-scale corpus (T = 5000 over 30 days) takes minutes;
+//! experiments that replay the *same* corpus repeatedly (the Figure 7.7
+//! pair, SLA studies across service settings) can save it once and reload
+//! it. Logs serialize to JSON — human-inspectable, which also makes the
+//! generated "close-to-realistic tenant logs" shareable the way the paper's
+//! §7.1 methodology intends.
+
+use crate::config::GenerationConfig;
+use crate::log::MultiTenantLog;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// A saved corpus: the generating configuration plus the composed logs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SavedCorpus {
+    /// The configuration that produced the corpus (for provenance and
+    /// regeneration).
+    pub config: GenerationConfig,
+    /// The composed multi-tenant log.
+    pub log: MultiTenantLog,
+}
+
+impl SavedCorpus {
+    /// Saves the corpus as JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = File::create(path)?;
+        let mut writer = BufWriter::new(file);
+        serde_json::to_writer(&mut writer, self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        writer.flush()
+    }
+
+    /// Loads a corpus saved with [`SavedCorpus::save`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::open(path)?;
+        serde_json::from_reader(BufReader::new(file))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composition::Composer;
+    use crate::library::SessionLibrary;
+
+    #[test]
+    fn corpus_round_trips_through_json() {
+        let mut cfg = GenerationConfig::small(3, 6);
+        cfg.parallelism_levels = vec![2];
+        cfg.session_trials = 2;
+        let library = SessionLibrary::generate(&cfg);
+        let composer = Composer::new(&cfg, &library);
+        let log = composer.compose_all();
+        let corpus = SavedCorpus {
+            config: cfg.clone(),
+            log,
+        };
+
+        let path = std::env::temp_dir().join(format!(
+            "thrifty-corpus-test-{}.json",
+            std::process::id()
+        ));
+        corpus.save(&path).unwrap();
+        let loaded = SavedCorpus::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.config.tenants, 6);
+        assert_eq!(loaded.log.tenants.len(), corpus.log.tenants.len());
+        assert_eq!(loaded.log.event_count(), corpus.log.event_count());
+        for (a, b) in loaded.log.tenants.iter().zip(&corpus.log.tenants) {
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.spec, b.spec);
+        }
+    }
+
+    #[test]
+    fn loading_a_missing_file_errors() {
+        assert!(SavedCorpus::load("/nonexistent/corpus.json").is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Tenant specifications.
+
+use crate::templates::Benchmark;
+use mppdb_sim::query::SimTenantId;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one tenant, as sampled in Step 2 of §7.1.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant identity (shared with the simulator and the Thrifty core).
+    pub id: SimTenantId,
+    /// Number of MPPDB nodes the tenant requested (`n_i`).
+    pub nodes: u32,
+    /// Total data size in GB (`nodes × gb_per_node`; §7.1 uses 100 GB/node).
+    pub data_gb: f64,
+    /// Which benchmark flavour the tenant's data and queries follow.
+    pub benchmark: Benchmark,
+    /// Time-zone offset in hours, drawn from the scenario's offset table.
+    pub offset_hours: u64,
+}
+
+impl TenantSpec {
+    /// Dataset size per node in GB.
+    pub fn gb_per_node(&self) -> f64 {
+        self.data_gb / self.nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_node_size() {
+        let t = TenantSpec {
+            id: SimTenantId(3),
+            nodes: 8,
+            data_gb: 800.0,
+            benchmark: Benchmark::TpcH,
+            offset_hours: 16,
+        };
+        assert!((t.gb_per_node() - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Capacity planning: how many nodes does a provider actually need?
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+//!
+//! A service provider expects ~300 tenants and wants to know how the
+//! replication factor `R` (availability) and SLA guarantee `P` trade off
+//! against the cluster size. This sweeps both knobs over one generated
+//! corpus and prints the provider's sizing table, including whether each
+//! plan fits a fixed 600-node budget.
+
+use thrifty::prelude::*;
+use thrifty_workload::prelude::*;
+
+const NODE_BUDGET: u64 = 600;
+
+fn main() {
+    let cfg = GenerationConfig::small(11, 300);
+    let library = SessionLibrary::generate(&cfg);
+    let composer = Composer::new(&cfg, &library);
+    let histories: Vec<(Tenant, Vec<(u64, u64)>)> = composer
+        .tenant_specs()
+        .iter()
+        .map(|s| {
+            (
+                Tenant::new(s.id, s.nodes, s.data_gb),
+                composer.busy_intervals(s),
+            )
+        })
+        .collect();
+    let requested: u64 = histories.iter().map(|(t, _)| u64::from(t.nodes)).sum();
+    println!(
+        "{} tenants requesting {} nodes in total; node budget {}\n",
+        histories.len(),
+        requested,
+        NODE_BUDGET
+    );
+    println!("{:>3}  {:>7}  {:>11}  {:>11}  {:>8}  {:>10}", "R", "P", "nodes used", "saved", "groups", "fits?");
+    for r in 1..=4u32 {
+        for p in [0.99, 0.999, 0.9999] {
+            let advisor = DeploymentAdvisor::new(AdvisorConfig {
+                replication: r,
+                sla_p: p,
+                epoch: EpochConfig::new(10_000, cfg.horizon_ms()),
+                algorithm: GroupingAlgorithm::TwoStep,
+                exclusion: ExclusionPolicy::default(),
+            });
+            let advice = advisor.advise(&histories);
+            println!(
+                "{:>3}  {:>6}%  {:>11}  {:>10.1}%  {:>8}  {:>10}",
+                r,
+                p * 100.0,
+                advice.plan.nodes_used(),
+                advice.report.effectiveness * 100.0,
+                advice.plan.groups.len(),
+                if advice.plan.nodes_used() <= NODE_BUDGET {
+                    "yes"
+                } else {
+                    "NO"
+                },
+            );
+        }
+    }
+    println!(
+        "\nReading: every plan guarantees each tenant its dedicated-MPPDB latency for P% of \
+         the time, with R replicas of every tenant's data for high availability."
+    );
+}

@@ -1,0 +1,108 @@
+//! Elastic scaling in action: an over-active tenant gets its own MPPDB.
+//!
+//! ```text
+//! cargo run --release --example elastic_scaling
+//! ```
+//!
+//! Builds one tenant-group of six 4-node tenants with staggered office
+//! hours, then has tenant T0 "go rogue" — submitting queries around the
+//! clock, far beyond its history. The Tenant Activity Monitor watches the
+//! group's RT-TTP; when it sinks below P = 99.9%, Thrifty identifies T0 as
+//! over-active (it deviates from history; the others are merely collateral)
+//! and bulk loads only T0's 400 GB onto a fresh MPPDB.
+
+use mppdb_sim::cost::isolated_latency_ms;
+use mppdb_sim::query::QueryTemplate;
+use mppdb_sim::time::{SimDuration, SimTime};
+use thrifty::prelude::*;
+
+fn main() {
+    // One tenant-group: six 4-node tenants, A = R = 2.
+    let members: Vec<Tenant> = (0..6)
+        .map(|i| Tenant::new(TenantId(i), 4, 400.0))
+        .collect();
+    let plan = DeploymentPlan {
+        groups: vec![TenantGroupPlan::new(members.clone(), 2, 4)],
+    };
+    let template = QueryTemplate::new(mppdb_sim::query::TemplateId(1), 60.0, 0.0);
+    let baseline_ms = isolated_latency_ms(&template, 400.0, 4);
+    let baseline = SimDuration::from_ms_f64(baseline_ms);
+
+    let mut service = ThriftyService::deploy(
+        &plan,
+        16,
+        [template],
+        ServiceConfig {
+            scaling_check_interval_ms: 60_000,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("plan fits");
+    // Historical activity: T0 was a quiet 5%-active tenant; the others run
+    // their burst schedule (~8.5% active) as they always have.
+    service.set_historical_activity(
+        members
+            .iter()
+            .map(|m| (m.id, if m.id == TenantId(0) { 0.05 } else { 0.085 })),
+    );
+    println!(
+        "deployed: 1 tenant-group, 2 replicas x 4 nodes; deployment took {}",
+        service.log_epoch()
+    );
+
+    // Two days of traffic. Tenants 1..6 each run a 20-minute query burst
+    // every four hours (staying near their 5% history, with neighbouring
+    // tenants' bursts overlapping by ten minutes); tenant 0 hammers
+    // continuously from hour 8.
+    let mut queries: Vec<IncomingQuery> = Vec::new();
+    let horizon_h = 48u64;
+    for t in 1..6u32 {
+        let mut burst_start = u64::from(t) * 600_000; // 10-minute stagger
+        while burst_start < horizon_h * 3_600_000 {
+            for k in 0..100u64 {
+                queries.push(IncomingQuery {
+                    tenant: TenantId(t),
+                    submit: SimTime::from_ms(burst_start + k * 12_000),
+                    template: template.id,
+                    baseline,
+                });
+            }
+            burst_start += 4 * 3_600_000;
+        }
+    }
+    let hammer_start = 8 * 3_600_000u64;
+    let mut at = hammer_start;
+    while at < horizon_h * 3_600_000 {
+        queries.push(IncomingQuery {
+            tenant: TenantId(0),
+            submit: SimTime::from_ms(at),
+            template: template.id,
+            baseline,
+        });
+        at += (baseline_ms * 1.2) as u64; // near-continuous
+    }
+    queries.sort_by_key(|q| (q.submit, q.tenant));
+
+    println!("replaying {} queries over {horizon_h} h; tenant T0 goes rogue at hour 8", queries.len());
+    let report = service.replay(queries).expect("replay succeeds");
+
+    for ev in &report.scaling_events {
+        println!(
+            "elastic scaling: detected at {}, moved {:?}, new MPPDB ready at {:?}",
+            ev.triggered_at,
+            ev.over_active,
+            ev.ready_at,
+        );
+    }
+    println!(
+        "T0 now served by group {:?}; the original group keeps groups {:?}..{:?}",
+        service.group_of(TenantId(0)),
+        service.group_of(TenantId(1)),
+        service.group_of(TenantId(5)),
+    );
+    println!(
+        "SLA compliance: {:.2}% of {} queries",
+        report.summary.compliance() * 100.0,
+        report.summary.total
+    );
+}

@@ -1,0 +1,119 @@
+//! Provider economics: what does consolidation earn?
+//!
+//! ```text
+//! cargo run --release --example provider_economics
+//! ```
+//!
+//! Runs the full pipeline on a small corpus, replays two days of queries,
+//! meters every tenant's active usage under the Chapter 3 pricing model
+//! (requested nodes + active time), and prints the provider's side: revenue,
+//! the cost of the consolidated cluster, and what dedicated clusters would
+//! have cost.
+
+use thrifty::prelude::*;
+use thrifty_workload::prelude::*;
+
+fn main() {
+    let mut cfg = GenerationConfig::small(19, 40);
+    cfg.parallelism_levels = vec![2, 4];
+    cfg.session_trials = 6;
+    let library = SessionLibrary::generate(&cfg);
+    let composer = Composer::new(&cfg, &library);
+    let specs = composer.tenant_specs();
+    let histories: Vec<(Tenant, Vec<(u64, u64)>)> = specs
+        .iter()
+        .map(|s| {
+            (
+                Tenant::new(s.id, s.nodes, s.data_gb),
+                composer.busy_intervals(s),
+            )
+        })
+        .collect();
+
+    let advice = DeploymentAdvisor::new(AdvisorConfig {
+        replication: 2,
+        sla_p: 0.999,
+        epoch: EpochConfig::new(10_000, cfg.horizon_ms()),
+        algorithm: GroupingAlgorithm::TwoStep,
+        exclusion: ExclusionPolicy::default(),
+    })
+    .advise(&histories);
+    println!("{}", advice.report);
+
+    let templates: Vec<_> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| catalog(b).into_iter().map(|t| t.template))
+        .collect();
+    let mut service = ThriftyService::deploy(
+        &advice.plan,
+        advice.plan.nodes_used() as usize + 4,
+        templates,
+        ServiceConfig::default(),
+    )
+    .expect("plan fits");
+
+    const BILLING_DAYS: f64 = 2.0;
+    let mut queries: Vec<IncomingQuery> = specs
+        .iter()
+        .flat_map(|s| composer.compose_log(s).events)
+        .filter(|e| e.submit.as_ms() < (BILLING_DAYS * 86_400_000.0) as u64)
+        .map(|e| IncomingQuery {
+            tenant: e.tenant,
+            submit: e.submit,
+            template: e.template,
+            baseline: e.sla_latency,
+        })
+        .collect();
+    queries.sort_by_key(|q| (q.submit, q.tenant));
+    let report = service.replay(queries).expect("replay succeeds");
+    println!(
+        "replayed {} queries over {BILLING_DAYS} days at {:.2}% SLA compliance\n",
+        report.summary.total,
+        report.summary.compliance() * 100.0
+    );
+
+    // Invoice every tenant.
+    let tariff = Tariff::default();
+    let mut invoices = Vec::new();
+    println!("{:>7}  {:>5}  {:>11}  {:>8}  {:>12}  {:>8}  {:>9}", "tenant", "nodes", "active", "queries", "subscription", "usage", "total");
+    for (tenant, _) in histories.iter().take(8) {
+        let inv = service
+            .invoice(tenant.id, &tariff, BILLING_DAYS)
+            .expect("deployed tenant");
+        println!(
+            "{:>7}  {:>5}  {:>9.1}min  {:>8}  {:>12.1}  {:>8.2}  {:>9.1}",
+            tenant.id.to_string(),
+            inv.requested_nodes,
+            inv.active_ms as f64 / 60_000.0,
+            inv.queries,
+            inv.subscription,
+            inv.usage,
+            inv.total()
+        );
+        invoices.push(inv);
+    }
+    for (tenant, _) in histories.iter().skip(8) {
+        invoices.push(
+            service
+                .invoice(tenant.id, &tariff, BILLING_DAYS)
+                .expect("deployed tenant"),
+        );
+    }
+    println!("  ... ({} tenants total)\n", invoices.len());
+
+    let econ = ProviderEconomics::compute(
+        &invoices,
+        advice.plan.nodes_used(),
+        advice.plan.nodes_requested(),
+        /* node_day_cost */ 4.0,
+        BILLING_DAYS,
+    );
+    println!("revenue:                    {:>10.1} credits", econ.revenue);
+    println!("consolidated cluster cost:  {:>10.1} credits", econ.consolidated_cost);
+    println!("dedicated clusters cost:    {:>10.1} credits", econ.dedicated_cost);
+    println!(
+        "consolidation gain:         {:>10.1} credits ({:.1}% of dedicated cost)",
+        econ.consolidation_gain(),
+        100.0 * econ.consolidation_gain() / econ.dedicated_cost
+    );
+}

@@ -1,0 +1,88 @@
+//! Quickstart: consolidate a small MPPDBaaS tenant population end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a §7.1-style tenant corpus, asks the Deployment Advisor for a
+//! plan (2-step grouping, R = 2, P = 99.9%), deploys it on the simulated
+//! cluster, and replays the first day of tenant queries through the full
+//! service loop — routing, SLA accounting, monitoring.
+
+use thrifty::prelude::*;
+use thrifty_workload::prelude::*;
+
+fn main() {
+    // 1. Generate a tenant corpus (Step 1 + Step 2 of §7.1, reduced scale).
+    let mut cfg = GenerationConfig::small(/* seed */ 7, /* tenants */ 60);
+    cfg.parallelism_levels = vec![2, 4, 8];
+    cfg.session_trials = 8;
+    let library = SessionLibrary::generate(&cfg);
+    let composer = Composer::new(&cfg, &library);
+    let specs = composer.tenant_specs();
+    println!("generated {} tenants over a {}-day horizon", specs.len(), cfg.horizon_days);
+
+    // 2. Ask the Deployment Advisor for a plan.
+    let histories: Vec<(Tenant, Vec<(u64, u64)>)> = specs
+        .iter()
+        .map(|s| {
+            (
+                Tenant::new(s.id, s.nodes, s.data_gb),
+                composer.busy_intervals(s),
+            )
+        })
+        .collect();
+    let advisor = DeploymentAdvisor::new(AdvisorConfig {
+        replication: 2,
+        sla_p: 0.999,
+        epoch: EpochConfig::new(10_000, cfg.horizon_ms()),
+        algorithm: GroupingAlgorithm::TwoStep,
+        exclusion: ExclusionPolicy::default(),
+    });
+    let advice = advisor.advise(&histories);
+    println!("{}", advice.report);
+    println!(
+        "deployment plan: {} tenant-groups, {} MPPDB instances, {} of {} requested nodes",
+        advice.plan.groups.len(),
+        advice.plan.instance_count(),
+        advice.plan.nodes_used(),
+        advice.plan.nodes_requested(),
+    );
+
+    // 3. Deploy on the simulated cluster and replay day one.
+    let templates: Vec<_> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| catalog(b).into_iter().map(|t| t.template))
+        .collect();
+    let mut service = ThriftyService::deploy(
+        &advice.plan,
+        advice.plan.nodes_used() as usize + 8, // headroom for elastic scaling
+        templates,
+        ServiceConfig::default(),
+    )
+    .expect("plan fits the cluster");
+
+    let day_one: Vec<IncomingQuery> = specs
+        .iter()
+        .flat_map(|s| composer.compose_log(s).events)
+        .filter(|e| e.submit.as_ms() < 24 * 3_600_000)
+        .map(|e| IncomingQuery {
+            tenant: e.tenant,
+            submit: e.submit,
+            template: e.template,
+            baseline: e.sla_latency,
+        })
+        .collect();
+    let mut day_one = day_one;
+    day_one.sort_by_key(|q| (q.submit, q.tenant));
+    println!("replaying {} queries from day one ...", day_one.len());
+    let report = service.replay(day_one).expect("replay succeeds");
+
+    println!(
+        "SLA compliance: {:.3}% of {} queries (worst normalized latency {:.2}x)",
+        report.summary.compliance() * 100.0,
+        report.summary.total,
+        report.summary.worst_normalized,
+    );
+    println!("elastic scaling events: {}", report.scaling_events.len());
+}

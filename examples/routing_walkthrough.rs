@@ -1,0 +1,50 @@
+//! The TDD query-routing walk-through of Figure 4.2 (Chapter 4.3), live.
+//!
+//! ```text
+//! cargo run --example routing_walkthrough
+//! ```
+//!
+//! Three MPPDBs serve one tenant-group. Queries Q1..Q8 arrive exactly as in
+//! the paper's example; the router applies Algorithm 1 and the printout
+//! matches the figure's narration.
+
+use thrifty::prelude::*;
+
+fn main() {
+    let mut router = QueryRouter::new(3);
+    let (t1, t2, t4, t9) = (TenantId(1), TenantId(2), TenantId(4), TenantId(9));
+
+    let step = |label: &str, route: Route| {
+        println!("{label:<4} -> MPPDB{} ({:?})", route.mppdb, route.kind);
+    };
+
+    step("Q1", router.route(t4)); // all free -> MPPDB0
+    step("Q2", router.route(t2)); // MPPDB0 busy -> a free one
+    step("Q3", router.route(t4)); // T4 still active -> sticky
+    step("Q4", router.route(t2)); // T2 still active -> sticky
+    step("Q5", router.route(t9)); // last free MPPDB
+    println!("     ({} tenants concurrently active)", router.active_tenants());
+
+    // T4 finishes Q1 and Q3; MPPDB0 frees up.
+    router.complete(0, t4);
+    router.complete(0, t4);
+    step("Q6", router.route(t1)); // MPPDB0 free again
+
+    // T2 finishes; then T4 returns — no longer sticky, lands on a free MPPDB.
+    router.complete(1, t2);
+    router.complete(1, t2);
+    step("Q7", router.route(t4));
+
+    // T1's Q6 finishes; Q8 arrives right after the "short think-time":
+    // T1 counts as inactive, so Q8 is routed fresh (here: MPPDB0 again).
+    router.complete(0, t1);
+    step("Q8", router.route(t1));
+
+    // And the overflow case the figure does not show: a fourth tenant
+    // while everything is busy is concurrently processed on MPPDB0.
+    let overflow = router.route(TenantId(7));
+    println!(
+        "Q9   -> MPPDB{} ({:?})  <- rule 4: the SLA-risky path Chapter 6 tunes U for",
+        overflow.mppdb, overflow.kind
+    );
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate: see the workspace README. Re-exports the member crates for examples and integration tests.
+#![forbid(unsafe_code)]
+pub use mppdb_sim;
+pub use thrifty;
+pub use thrifty_workload;

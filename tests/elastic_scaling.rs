@@ -1,0 +1,135 @@
+//! Lightweight elastic scaling, end to end (Chapter 5.1): detection,
+//! identification, bulk-load delay, rerouting.
+
+use mppdb_sim::cost::isolated_latency_ms;
+use mppdb_sim::query::{QueryTemplate, TemplateId};
+use mppdb_sim::time::{SimDuration, SimTime};
+use thrifty::prelude::*;
+
+const NODES: u32 = 4;
+const DATA_GB: f64 = 400.0;
+
+fn template() -> QueryTemplate {
+    QueryTemplate::new(TemplateId(1), 60.0, 0.0)
+}
+
+fn baseline_ms() -> f64 {
+    isolated_latency_ms(&template(), DATA_GB, NODES as usize)
+}
+
+fn scenario(
+    elastic: bool,
+    history: bool,
+) -> (ThriftyService, Vec<IncomingQuery>) {
+    let members: Vec<Tenant> = (0..6)
+        .map(|i| Tenant::new(TenantId(i), NODES, DATA_GB))
+        .collect();
+    let plan = DeploymentPlan {
+        groups: vec![TenantGroupPlan::new(members.clone(), 2, NODES)],
+    };
+    let mut service = ThriftyService::deploy(
+        &plan,
+        20,
+        [template()],
+        ServiceConfig {
+            elastic_scaling: elastic,
+            scaling_check_interval_ms: 60_000,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    if history {
+        service.set_historical_activity(
+            members
+                .iter()
+                .map(|m| (m.id, if m.id == TenantId(0) { 0.05 } else { 0.085 })),
+        );
+    }
+
+    let baseline = SimDuration::from_ms_f64(baseline_ms());
+    let mut queries = Vec::new();
+    // Tenants 1..6: a 20-minute burst every 4 hours, staggered by 10 min.
+    for t in 1..6u32 {
+        let mut burst = u64::from(t) * 600_000;
+        while burst < 48 * 3_600_000 {
+            for k in 0..100u64 {
+                queries.push(IncomingQuery {
+                    tenant: TenantId(t),
+                    submit: SimTime::from_ms(burst + k * 12_000),
+                    template: template().id,
+                    baseline,
+                });
+            }
+            burst += 4 * 3_600_000;
+        }
+    }
+    // Tenant 0 hammers continuously from hour 8.
+    let mut at = 8 * 3_600_000u64;
+    while at < 48 * 3_600_000 {
+        queries.push(IncomingQuery {
+            tenant: TenantId(0),
+            submit: SimTime::from_ms(at),
+            template: template().id,
+            baseline,
+        });
+        at += (baseline_ms() * 1.2) as u64;
+    }
+    queries.sort_by_key(|q| (q.submit, q.tenant));
+    (service, queries)
+}
+
+#[test]
+fn over_active_tenant_is_detected_and_relocated() {
+    let (mut service, queries) = scenario(true, true);
+    let report = service.replay(queries).unwrap();
+    assert!(!report.scaling_events.is_empty(), "scaling must trigger");
+    let ev = &report.scaling_events[0];
+    assert_eq!(ev.over_active, vec![TenantId(0)], "the hammer is the deviant");
+    assert!(ev.triggered_at >= SimTime::from_secs(8 * 3600));
+    let ready = ev.ready_at.expect("the scale-out MPPDB must come up");
+    // Bulk load of one 400 GB tenant per the Table 5.1 model: ~5.7 h plus
+    // the 4-node start-up.
+    let load_h = (ready.as_ms() - ev.triggered_at.as_ms()) as f64 / 3_600_000.0;
+    assert!((4.0..9.0).contains(&load_h), "load took {load_h:.1} h");
+    assert_eq!(service.group_of(TenantId(0)), Some(1), "tenant rerouted");
+    assert_eq!(service.group_of(TenantId(1)), Some(0));
+}
+
+#[test]
+fn scaling_improves_sla_compliance() {
+    let (mut off_service, queries) = scenario(false, true);
+    let off = off_service.replay(queries.clone()).unwrap();
+    let (mut on_service, queries) = scenario(true, true);
+    let on = on_service.replay(queries).unwrap();
+    assert!(off.scaling_events.is_empty());
+    assert!(
+        on.summary.compliance() > off.summary.compliance(),
+        "scaling ON {:.4} must beat OFF {:.4}",
+        on.summary.compliance(),
+        off.summary.compliance()
+    );
+}
+
+#[test]
+fn without_history_the_grouping_based_identification_still_works() {
+    let (mut service, queries) = scenario(true, false);
+    let report = service.replay(queries).unwrap();
+    assert!(
+        !report.scaling_events.is_empty(),
+        "scaling must still trigger without historical ratios"
+    );
+    // Every moved tenant must actually leave the original group.
+    for ev in &report.scaling_events {
+        for t in &ev.over_active {
+            assert_ne!(service.group_of(*t), Some(ev.group));
+        }
+    }
+}
+
+#[test]
+fn disabled_scaling_never_scales() {
+    let (mut service, queries) = scenario(false, true);
+    let report = service.replay(queries).unwrap();
+    assert!(report.scaling_events.is_empty());
+    assert_eq!(service.group_count(), 1);
+}

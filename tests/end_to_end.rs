@@ -1,0 +1,134 @@
+//! End-to-end pipeline tests: workload generation → advisor → deployment →
+//! replay, across all three crates.
+
+use thrifty::prelude::*;
+use thrifty_workload::prelude::*;
+
+fn corpus(seed: u64, tenants: usize) -> (GenerationConfig, SessionLibrary) {
+    let mut cfg = GenerationConfig::small(seed, tenants);
+    cfg.parallelism_levels = vec![2, 4, 8];
+    cfg.session_trials = 6;
+    let library = SessionLibrary::generate(&cfg);
+    (cfg, library)
+}
+
+fn histories(cfg: &GenerationConfig, library: &SessionLibrary) -> Vec<(Tenant, Vec<(u64, u64)>)> {
+    let composer = Composer::new(cfg, library);
+    composer
+        .tenant_specs()
+        .iter()
+        .map(|s| {
+            (
+                Tenant::new(s.id, s.nodes, s.data_gb),
+                composer.busy_intervals(s),
+            )
+        })
+        .collect()
+}
+
+fn advisor(cfg: &GenerationConfig) -> DeploymentAdvisor {
+    DeploymentAdvisor::new(AdvisorConfig {
+        replication: 2,
+        sla_p: 0.999,
+        epoch: EpochConfig::new(10_000, cfg.horizon_ms()),
+        algorithm: GroupingAlgorithm::TwoStep,
+        exclusion: ExclusionPolicy::default(),
+    })
+}
+
+#[test]
+fn full_pipeline_consolidates_and_meets_slas() {
+    let (cfg, library) = corpus(3, 80);
+    let histories = histories(&cfg, &library);
+    let advice = advisor(&cfg).advise(&histories);
+    advice.solution.validate(&advice.problem).unwrap();
+    assert!(
+        advice.report.effectiveness > 0.25,
+        "saved only {:.1}%",
+        advice.report.effectiveness * 100.0
+    );
+
+    // Replay day one of the composed logs through the deployed service.
+    let composer = Composer::new(&cfg, &library);
+    let templates: Vec<_> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| catalog(b).into_iter().map(|t| t.template))
+        .collect();
+    let mut service = ThriftyService::deploy(
+        &advice.plan,
+        advice.plan.nodes_used() as usize + 8,
+        templates,
+        ServiceConfig {
+            elastic_scaling: false,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut day_one: Vec<IncomingQuery> = composer
+        .tenant_specs()
+        .iter()
+        .flat_map(|s| composer.compose_log(s).events)
+        .filter(|e| e.submit.as_ms() < 24 * 3_600_000)
+        .map(|e| IncomingQuery {
+            tenant: e.tenant,
+            submit: e.submit,
+            template: e.template,
+            baseline: e.sla_latency,
+        })
+        .collect();
+    day_one.sort_by_key(|q| (q.submit, q.tenant));
+    assert!(!day_one.is_empty());
+    let report = service.replay(day_one).unwrap();
+    // The grouping held a 99.9% TTP on this very history, so the replayed
+    // compliance must be high (small slack for epoch discretization and
+    // the ±1 query-latency variation of the shared instance).
+    assert!(
+        report.summary.compliance() > 0.97,
+        "compliance {:.4}",
+        report.summary.compliance()
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_from_the_seed() {
+    let run = || {
+        let (cfg, library) = corpus(9, 40);
+        let histories = histories(&cfg, &library);
+        let advice = advisor(&cfg).advise(&histories);
+        (
+            advice.report.nodes_used,
+            advice.report.groups,
+            advice
+                .solution
+                .groups
+                .iter()
+                .map(|g| g.members.clone())
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_corpora_but_same_regime() {
+    let eff = |seed: u64| {
+        let (cfg, library) = corpus(seed, 120);
+        let advice = advisor(&cfg).advise(&histories(&cfg, &library));
+        advice.report.effectiveness
+    };
+    let (a, b) = (eff(1), eff(2));
+    assert_ne!(a, b, "different seeds should not coincide exactly");
+    assert!((a - b).abs() < 0.2, "seeds {a:.3} vs {b:.3} diverge too much");
+}
+
+#[test]
+fn excluded_tenants_do_not_enter_the_plan() {
+    let (cfg, library) = corpus(5, 30);
+    let mut histories = histories(&cfg, &library);
+    // Make one tenant always active: it must be excluded.
+    histories[0].1 = vec![(0, cfg.horizon_ms())];
+    let advice = advisor(&cfg).advise(&histories);
+    assert_eq!(advice.excluded.len(), 1);
+    assert_eq!(advice.excluded[0].id, histories[0].0.id);
+    assert_eq!(advice.plan.tenant_count(), 29);
+}

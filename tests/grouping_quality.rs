@@ -1,0 +1,107 @@
+//! Grouping-quality integration tests: the 2-step heuristic against FFD and
+//! the exact optimum, on generated corpora.
+
+use thrifty::prelude::*;
+use thrifty_workload::prelude::*;
+
+fn problem_from_corpus(seed: u64, tenants: usize, r: u32, p: f64) -> GroupingProblem {
+    let mut cfg = GenerationConfig::small(seed, tenants);
+    cfg.parallelism_levels = vec![2, 4];
+    cfg.session_trials = 5;
+    let library = SessionLibrary::generate(&cfg);
+    let composer = Composer::new(&cfg, &library);
+    let epoch = EpochConfig::new(10_000, cfg.horizon_ms());
+    let mut tenants_v = Vec::new();
+    let mut activities = Vec::new();
+    for s in composer.tenant_specs() {
+        tenants_v.push(Tenant::new(s.id, s.nodes, s.data_gb));
+        activities.push(ActivityVector::from_intervals(
+            &composer.busy_intervals(&s),
+            epoch,
+        ));
+    }
+    GroupingProblem::new(tenants_v, activities, r, p)
+}
+
+#[test]
+fn two_step_beats_published_ffd_on_realistic_corpora() {
+    // The paper's headline comparison (3.6–11.1 pp more nodes saved).
+    for seed in [1u64, 2, 3] {
+        let problem = problem_from_corpus(seed, 150, 3, 0.999);
+        let two_step = two_step_grouping(&problem);
+        let ffd = ffd_grouping(&problem);
+        two_step.validate(&problem).unwrap();
+        ffd.validate(&problem).unwrap();
+        assert!(
+            two_step.nodes_used(&problem) < ffd.nodes_used(&problem),
+            "seed {seed}: 2-step {} vs FFD {}",
+            two_step.nodes_used(&problem),
+            ffd.nodes_used(&problem)
+        );
+    }
+}
+
+#[test]
+fn exact_solver_bounds_the_heuristics_on_small_corpora() {
+    let problem = problem_from_corpus(7, 10, 2, 0.999);
+    let exact = exact_grouping(&problem);
+    let two_step = two_step_grouping(&problem);
+    let ffd = ffd_grouping(&problem);
+    exact.validate(&problem).unwrap();
+    assert!(exact.nodes_used(&problem) <= two_step.nodes_used(&problem));
+    assert!(exact.nodes_used(&problem) <= ffd.nodes_used(&problem));
+    // On this small instance the 2-step heuristic should be close to
+    // optimal (within one extra group of the smallest size).
+    assert!(
+        two_step.nodes_used(&problem) <= exact.nodes_used(&problem) + 2 * 2,
+        "2-step {} vs exact {}",
+        two_step.nodes_used(&problem),
+        exact.nodes_used(&problem)
+    );
+}
+
+#[test]
+fn looser_sla_never_uses_more_nodes() {
+    let mut last = u64::MAX;
+    for p in [0.9999, 0.999, 0.99, 0.95] {
+        let problem = problem_from_corpus(11, 120, 3, p);
+        let solution = two_step_grouping(&problem);
+        let used = solution.nodes_used(&problem);
+        assert!(
+            used <= last,
+            "loosening P to {p} should not use more nodes ({used} > {last})"
+        );
+        last = used;
+    }
+}
+
+#[test]
+fn effectiveness_grows_with_replication_up_to_saturation() {
+    // Figure 7.4a: going from R = 1 to R = 3 clearly helps (more concurrent
+    // actives absorbed per group outweighs the replica cost on low-activity
+    // corpora).
+    let eff = |r: u32| {
+        let problem = problem_from_corpus(13, 150, r, 0.999);
+        two_step_grouping(&problem).effectiveness(&problem)
+    };
+    let (e1, e3) = (eff(1), eff(3));
+    assert!(e3 > e1, "R=3 ({e3:.3}) must beat R=1 ({e1:.3})");
+}
+
+#[test]
+fn deployment_plan_matches_grouping_accounting() {
+    let problem = problem_from_corpus(17, 80, 2, 0.999);
+    let solution = two_step_grouping(&problem);
+    let plan = DeploymentPlan::from_grouping(&problem, &solution);
+    assert_eq!(plan.nodes_used(), solution.nodes_used(&problem));
+    assert_eq!(plan.nodes_requested(), problem.nodes_requested());
+    assert_eq!(plan.tenant_count(), problem.len());
+    assert_eq!(
+        plan.instance_count(),
+        solution.groups.len() * problem.replication as usize
+    );
+    // Property 1: every group plan replicates each member A = R times.
+    for g in &plan.groups {
+        assert_eq!(g.replication(), problem.replication);
+    }
+}

@@ -1,0 +1,37 @@
+//! Smoke test: every experiment id runs end to end on a tiny corpus and
+//! produces non-empty tables. Keeps the whole harness exercisable from
+//! `cargo test` without waiting for the real scales.
+
+use thrifty_bench::experiments::{self, ALL_IDS};
+use thrifty_bench::pipeline::Harness;
+use thrifty_workload::prelude::GenerationConfig;
+
+#[test]
+fn every_experiment_runs_on_a_tiny_corpus() {
+    let mut cfg = GenerationConfig::small(47, 60);
+    cfg.session_trials = 4;
+    let harness = Harness::from_config(cfg);
+    for id in ALL_IDS.iter().chain(["headline", "ablate"].iter()) {
+        let result = experiments::run(id, &harness)
+            .unwrap_or_else(|| panic!("experiment {id} is not wired into the registry"));
+        assert_eq!(&result.id, id);
+        assert!(
+            !result.tables.is_empty(),
+            "experiment {id} produced no tables"
+        );
+        for t in &result.tables {
+            assert!(!t.rows.is_empty(), "experiment {id}: empty table {}", t.title);
+        }
+        // Rendering must not panic and must carry the id.
+        let rendered = result.to_string();
+        assert!(rendered.contains(id.trim_start_matches("fig").trim_start_matches("tab")));
+    }
+}
+
+#[test]
+fn unknown_ids_are_rejected() {
+    let mut cfg = GenerationConfig::small(47, 20);
+    cfg.session_trials = 2;
+    let harness = Harness::from_config(cfg);
+    assert!(experiments::run("fig9.9", &harness).is_none());
+}

@@ -1,0 +1,175 @@
+//! Guarantee 1 (Chapter 4.4), exercised end to end: *no matter* whether a
+//! tenant's queries are linear or non-linear scale-out, submitted
+//! sequentially or in concurrent batches, the TDD meets the SLAs of up to
+//! `A` concurrently active tenants.
+
+use mppdb_sim::cost::isolated_latency_ms;
+use mppdb_sim::query::{QueryTemplate, TemplateId};
+use mppdb_sim::time::{SimDuration, SimTime};
+use thrifty::prelude::*;
+
+fn plan(tenants: u32, nodes: u32, a: u32) -> DeploymentPlan {
+    let members: Vec<Tenant> = (0..tenants)
+        .map(|i| Tenant::new(TenantId(i), nodes, 100.0 * f64::from(nodes)))
+        .collect();
+    DeploymentPlan {
+        groups: vec![TenantGroupPlan::new(members, a, nodes)],
+    }
+}
+
+fn service(tenants: u32, nodes: u32, a: u32, templates: &[QueryTemplate]) -> ThriftyService {
+    ThriftyService::deploy(
+        &plan(tenants, nodes, a),
+        (nodes * a) as usize + 4,
+        templates.iter().copied(),
+        ServiceConfig {
+            elastic_scaling: false,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Builds a query for tenant `t` at second `s` with the SLA baseline equal
+/// to the dedicated latency on the tenant's requested nodes.
+fn q(t: u32, s: u64, template: QueryTemplate, nodes: u32) -> IncomingQuery {
+    let data_gb = 100.0 * f64::from(nodes);
+    IncomingQuery {
+        tenant: TenantId(t),
+        submit: SimTime::from_secs(s),
+        template: template.id,
+        baseline: SimDuration::from_ms_f64(isolated_latency_ms(
+            &template,
+            data_gb,
+            nodes as usize,
+        )),
+    }
+}
+
+#[test]
+fn a_concurrent_tenants_all_meet_sla_with_linear_queries() {
+    let linear = QueryTemplate::new(TemplateId(1), 300.0, 0.0);
+    for a in 1..=4u32 {
+        let mut s = service(6, 4, a, &[linear]);
+        // Exactly `a` tenants concurrently active, each with a burst of 3
+        // queries (intra-tenant concurrency is the tenant's own issue, so
+        // give them sequential queries here).
+        let mut queries = Vec::new();
+        for t in 0..a {
+            for k in 0..3u64 {
+                queries.push(q(t, k * 400, linear, 4));
+            }
+        }
+        queries.sort_by_key(|x| (x.submit, x.tenant));
+        let report = s.replay(queries).unwrap();
+        assert_eq!(
+            report.summary.met, report.summary.total,
+            "A={a}: all queries of <=A active tenants must meet the SLA"
+        );
+    }
+}
+
+#[test]
+fn a_concurrent_tenants_meet_sla_with_non_linear_queries() {
+    // Guarantee 1 explicitly covers non-linear scale-out queries: each
+    // active tenant gets an exclusive MPPDB of at least its requested
+    // parallelism, so Amdahl saturation cannot hurt it.
+    let nonlinear = QueryTemplate::new(TemplateId(19), 300.0, 0.3);
+    let mut s = service(5, 4, 3, &[nonlinear]);
+    let queries = vec![
+        q(0, 0, nonlinear, 4),
+        q(1, 1, nonlinear, 4),
+        q(2, 2, nonlinear, 4),
+    ];
+    let report = s.replay(queries).unwrap();
+    assert_eq!(report.summary.met, report.summary.total);
+}
+
+#[test]
+fn concurrent_batches_of_one_tenant_share_one_mppdb() {
+    // A tenant submitting a concurrent batch (report generation, MPL > 1)
+    // is served by ONE dedicated MPPDB: the batch slows itself down (its
+    // own node-choice), but other tenants are unaffected.
+    let linear = QueryTemplate::new(TemplateId(1), 300.0, 0.0);
+    let mut s = service(3, 2, 2, &[linear]);
+    let mut queries = vec![
+        q(0, 0, linear, 2),
+        q(0, 0, linear, 2),
+        q(0, 0, linear, 2), // tenant 0: batch of three, concurrent
+        q(1, 1, linear, 2), // tenant 1: a single query
+    ];
+    queries.sort_by_key(|x| (x.submit, x.tenant));
+    let report = s.replay(queries).unwrap();
+    let t1: Vec<_> = report
+        .records
+        .iter()
+        .filter(|r| r.tenant == TenantId(1))
+        .collect();
+    assert_eq!(t1.len(), 1);
+    assert!(t1[0].met, "the other tenant must be unaffected by the batch");
+    // The batch queries shared their MPPDB 3-ways.
+    let t0_worst = report
+        .records
+        .iter()
+        .filter(|r| r.tenant == TenantId(0))
+        .map(|r| r.normalized)
+        .fold(0.0, f64::max);
+    assert!(t0_worst > 2.5, "the batch must self-interfere: {t0_worst}");
+}
+
+#[test]
+fn the_a_plus_first_tenant_overflows_and_may_violate() {
+    let linear = QueryTemplate::new(TemplateId(1), 300.0, 0.0);
+    let mut s = service(4, 2, 2, &[linear]);
+    let queries = vec![
+        q(0, 0, linear, 2),
+        q(1, 1, linear, 2),
+        q(2, 2, linear, 2), // third concurrently active tenant, A = 2
+    ];
+    let report = s.replay(queries).unwrap();
+    assert_eq!(report.summary.total, 3);
+    assert!(
+        report.records.iter().any(|r| r.route == RouteKind::Overflow),
+        "the third tenant must take the overflow path"
+    );
+    assert!(report.summary.met < 3, "overflow concurrency must cost someone");
+}
+
+#[test]
+fn a_bigger_tuning_mppdb_absorbs_overflow_for_linear_queries() {
+    // Chapter 6 (manual tuning): growing U lets overflow queries meet the
+    // SLA empirically. U = 2x the request absorbs one overflow query of a
+    // linear template (2 concurrent at double parallelism = dedicated speed).
+    let linear = QueryTemplate::new(TemplateId(1), 300.0, 0.0);
+    let members: Vec<Tenant> = (0..4).map(|i| Tenant::new(TenantId(i), 2, 200.0)).collect();
+    let mut group = TenantGroupPlan::new(members, 2, 2);
+    let u = recommend_tuning_nodes(&linear, 200.0, 2, 2, 1.0, 64).unwrap();
+    assert_eq!(u, 4);
+    group.set_tuning_nodes(u);
+    let plan = DeploymentPlan { groups: vec![group] };
+    let mut s = ThriftyService::deploy(
+        &plan,
+        12,
+        [linear],
+        ServiceConfig {
+            elastic_scaling: false,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    // Three concurrently active tenants on A = 2 MPPDBs: tenant 0 grabs the
+    // (big) tuning MPPDB, tenant 1 the other; tenant 2 overflows onto
+    // MPPDB_0 — which now has 4 nodes, so both queries there still finish
+    // within the 2-node baseline.
+    let queries = vec![
+        q(0, 0, linear, 2),
+        q(1, 1, linear, 2),
+        q(2, 2, linear, 2),
+    ];
+    let report = s.replay(queries).unwrap();
+    assert_eq!(
+        report.summary.met, 3,
+        "with U = 4 every query must meet its SLA: {:?}",
+        report.records
+    );
+}

@@ -31,11 +31,9 @@ fn bench_algorithms(c: &mut Criterion) {
     group.sample_size(10);
     for tenants in [100usize, 300] {
         let problem = build_problem(tenants, 30_000);
-        group.bench_with_input(
-            BenchmarkId::new("two_step", tenants),
-            &problem,
-            |b, p| b.iter(|| black_box(two_step_grouping(p))),
-        );
+        group.bench_with_input(BenchmarkId::new("two_step", tenants), &problem, |b, p| {
+            b.iter(|| black_box(two_step_grouping(p)))
+        });
         group.bench_with_input(BenchmarkId::new("ffd", tenants), &problem, |b, p| {
             b.iter(|| black_box(ffd_grouping(p)))
         });

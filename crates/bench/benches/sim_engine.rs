@@ -66,10 +66,7 @@ fn bench_many_instances(c: &mut Criterion) {
             for round in 0..10u32 {
                 for (i, &inst) in instances.iter().enumerate() {
                     cluster
-                        .submit(
-                            inst,
-                            QuerySpec::new(template, 100.0, SimTenantId(i as u32)),
-                        )
+                        .submit(inst, QuerySpec::new(template, 100.0, SimTenantId(i as u32)))
                         .unwrap();
                 }
                 cluster.run_until(SimTime::from_secs(u64::from(round + 1) * 600));

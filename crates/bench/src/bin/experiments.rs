@@ -3,25 +3,42 @@
 use std::process::ExitCode;
 use thrifty_bench::experiments::{self, ALL_IDS, CORPUS_IDS};
 use thrifty_bench::pipeline::{Harness, Scale};
+use thrifty_bench::{parallel, report};
 
 const USAGE: &str = "\
-usage: experiments [--full] [--seed N] <id>... | all | list
+usage: experiments [--full] [--seed N] [--json] <id>... | all | list
 
 ids: fig1.1a fig1.1b fig1.1c tab5.1 fig5.3 tab7.1
      fig7.1 fig7.2 fig7.3 fig7.4 fig7.5 fig7.6 fig7.7
      headline ablate
 
 --full    run at the paper's scale (T = 5000, 30-day logs, 100 trials)
---seed N  workload generation seed (default 42)";
+--seed N  workload generation seed (default 42)
+--json    also write each result (tables + stage timings) to BENCH_<id>.json
+
+THRIFTY_THREADS caps the worker threads of every parallel stage (default:
+all cores; 1 reproduces the serial pipeline bit for bit).";
+
+/// Writes the full result (tables + stage timings) to `BENCH_<id>.json` so
+/// runs at different `THRIFTY_THREADS` settings can be diffed for output
+/// identity and compared for speedup.
+fn write_json(result: &report::ExperimentResult) -> Result<String, serde_json::Error> {
+    let path = format!("BENCH_{}.json", result.id);
+    let file = std::fs::File::create(&path).map_err(serde_json::Error::from)?;
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), result)?;
+    Ok(path)
+}
 
 fn main() -> ExitCode {
     let mut scale = Scale::Small;
     let mut seed = 42u64;
+    let mut json = false;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
+            "--json" => json = true,
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => {
@@ -56,7 +73,8 @@ fn main() -> ExitCode {
     // Build the (possibly expensive) corpus harness only if needed.
     let needs_corpus = ids.iter().any(|id| CORPUS_IDS.contains(&id.as_str()));
     eprintln!(
-        "# scale: {scale:?}, seed: {seed}{}",
+        "# scale: {scale:?}, seed: {seed}, threads: {}{}",
+        parallel::max_threads(),
         if needs_corpus {
             " — generating session library..."
         } else {
@@ -75,6 +93,26 @@ fn main() -> ExitCode {
         match experiments::run(id, &harness) {
             Some(result) => {
                 println!("{result}");
+                for s in &result.timings {
+                    eprintln!(
+                        "# {id} stage {}: {} tasks on {} threads, wall {:.1?}, busy {:.1?} ({:.1}x)",
+                        s.stage,
+                        s.tasks,
+                        s.threads,
+                        s.wall,
+                        s.busy,
+                        s.speedup()
+                    );
+                }
+                if json {
+                    match write_json(&result) {
+                        Ok(path) => eprintln!("# {id} result written to {path}"),
+                        Err(e) => {
+                            eprintln!("# {id} could not write JSON: {e}");
+                            failed = true;
+                        }
+                    }
+                }
                 eprintln!("# {id} finished in {:.1?}\n", t0.elapsed());
             }
             None => {

@@ -8,15 +8,18 @@
 
 use crate::pipeline::{defaults, Harness};
 use crate::report::{dur, num, pct, ExperimentResult, Table};
+use std::time::Instant;
 use thrifty::grouping::ffd_grouping_with;
 use thrifty::prelude::*;
-use std::time::Instant;
 
 /// Runs the grouping ablations on the default corpus.
 pub fn ablate(harness: &Harness) -> ExperimentResult {
     let corpus = harness.default_histories();
     let variants: [(&str, TwoStepConfig); 3] = [
-        ("2-step (paper: full lexicographic)", TwoStepConfig::default()),
+        (
+            "2-step (paper: full lexicographic)",
+            TwoStepConfig::default(),
+        ),
         (
             "tie-break: top level only",
             TwoStepConfig {
@@ -36,7 +39,7 @@ pub fn ablate(harness: &Harness) -> ExperimentResult {
         "Ablations — 2-step design choices (R=3, P=99.9%, E=10s)",
         &["variant", "saved", "avg group size", "runtime"],
     );
-    for (label, config) in variants {
+    for row in crate::parallel::par_map("ablate:two-step", &variants, |&(label, config)| {
         let advisor = DeploymentAdvisor::new(AdvisorConfig {
             replication: defaults::REPLICATION,
             sla_p: defaults::SLA_P,
@@ -45,12 +48,14 @@ pub fn ablate(harness: &Harness) -> ExperimentResult {
             exclusion: ExclusionPolicy::default(),
         });
         let advice = advisor.advise(&corpus.histories);
-        t.push_row(vec![
+        vec![
             label.into(),
             pct(advice.report.effectiveness),
             num(advice.report.average_group_size, 1),
             dur(advice.report.runtime),
-        ]);
+        ]
+    }) {
+        t.push_row(row);
     }
     // FFD baseline variants: the published baseline (product order, hard
     // capacity) against fuzzy-capacity and size-ordered upgrades.
@@ -65,7 +70,10 @@ pub fn ablate(harness: &Harness) -> ExperimentResult {
         GroupingProblem::new(tenants, activities, defaults::REPLICATION, defaults::SLA_P)
     };
     let ffd_variants: [(&str, FfdConfig); 3] = [
-        ("FFD as published (product order, hard capacity)", FfdConfig::default()),
+        (
+            "FFD as published (product order, hard capacity)",
+            FfdConfig::default(),
+        ),
         (
             "FFD + fuzzy capacity",
             FfdConfig {
@@ -85,21 +93,24 @@ pub fn ablate(harness: &Harness) -> ExperimentResult {
         "FFD baseline variants (same corpus and defaults)",
         &["variant", "saved", "avg group size", "runtime"],
     );
-    for (label, config) in ffd_variants {
+    for row in crate::parallel::par_map("ablate:ffd", &ffd_variants, |&(label, config)| {
         let started = Instant::now();
         let solution = ffd_grouping_with(&problem, config);
         let runtime = started.elapsed();
-        f.push_row(vec![
+        vec![
             label.into(),
             pct(solution.effectiveness(&problem)),
             num(solution.average_group_size(), 1),
             dur(runtime),
-        ]);
+        ]
+    }) {
+        f.push_row(row);
     }
     ExperimentResult {
         id: "ablate".into(),
         context: "why the paper's design choices matter".into(),
         tables: vec![t, f],
+        timings: Vec::new(),
     }
 }
 

@@ -17,12 +17,7 @@ const DATA_GB: f64 = 100.0;
 /// Runs one shared instance with `tenants` tenants submitting one query
 /// each, either concurrently or sequentially, and returns the mean latency
 /// in ms.
-fn shared_latency_ms(
-    template: QueryTemplate,
-    nodes: usize,
-    tenants: u32,
-    concurrent: bool,
-) -> f64 {
+fn shared_latency_ms(template: QueryTemplate, nodes: usize, tenants: u32, concurrent: bool) -> f64 {
     let mut cluster = Cluster::new(ClusterConfig::with_instant_provisioning(nodes));
     let datasets: Vec<(SimTenantId, f64)> =
         (0..tenants).map(|i| (SimTenantId(i), DATA_GB)).collect();
@@ -54,7 +49,12 @@ fn shared_latency_ms(
 
 /// Speedup of the multi-tenant setting relative to single-tenant 1-node
 /// execution (the y-axis of Figures 1.1a/1.1c).
-fn speedup_vs_one_node(template: QueryTemplate, nodes: usize, tenants: u32, concurrent: bool) -> f64 {
+fn speedup_vs_one_node(
+    template: QueryTemplate,
+    nodes: usize,
+    tenants: u32,
+    concurrent: bool,
+) -> f64 {
     let base = isolated_latency_ms(&template, DATA_GB, 1);
     base / shared_latency_ms(template, nodes, tenants, concurrent)
 }
@@ -78,8 +78,11 @@ pub fn fig_1_1a() -> ExperimentResult {
     }
     ExperimentResult {
         id: "fig1.1a".into(),
-        context: "shared-process multi-tenancy: sequential sharing is free, concurrency costs x-fold".into(),
+        context:
+            "shared-process multi-tenancy: sequential sharing is free, concurrency costs x-fold"
+                .into(),
         tables: vec![t],
+        timings: Vec::new(),
     }
 }
 
@@ -89,7 +92,12 @@ pub fn fig_1_1b() -> ExperimentResult {
     let dedicated_2node = isolated_latency_ms(&q1, DATA_GB, 2) / 1000.0;
     let mut t = Table::new(
         "Figure 1.1b — Q1 latency: 2-node dedicated vs 6-node shared",
-        &["setting", "active tenants", "latency (s)", "meets 2-node SLA"],
+        &[
+            "setting",
+            "active tenants",
+            "latency (s)",
+            "meets 2-node SLA",
+        ],
     );
     t.push_row(vec![
         "A: 2-node dedicated".into(),
@@ -116,6 +124,7 @@ pub fn fig_1_1b() -> ExperimentResult {
                   concurrently active 2-node tenants for a linear query"
             .into(),
         tables: vec![t],
+        timings: Vec::new(),
     }
 }
 
@@ -139,6 +148,7 @@ pub fn fig_1_1c() -> ExperimentResult {
                   concurrency — the second opportunity does not apply"
             .into(),
         tables: vec![t],
+        timings: Vec::new(),
     }
 }
 
@@ -152,7 +162,10 @@ mod tests {
         for nodes in [1usize, 2, 4, 8] {
             let s = speedup_vs_one_node(q1, nodes, 1, false);
             // Millisecond rounding bounds the relative error.
-            assert!((s - nodes as f64).abs() / (nodes as f64) < 0.01, "{nodes} nodes: {s}");
+            assert!(
+                (s - nodes as f64).abs() / (nodes as f64) < 0.01,
+                "{nodes} nodes: {s}"
+            );
         }
     }
 
@@ -196,7 +209,10 @@ mod tests {
     fn q19_speedup_saturates() {
         let q19 = tpch_q19();
         let s8 = speedup_vs_one_node(q19, 8, 1, false);
-        assert!(s8 < 8.0 * 0.5, "Q19 at 8 nodes must be far from linear: {s8}");
+        assert!(
+            s8 < 8.0 * 0.5,
+            "Q19 at 8 nodes must be far from linear: {s8}"
+        );
     }
 
     #[test]

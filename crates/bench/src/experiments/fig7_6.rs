@@ -6,6 +6,7 @@
 //! finally put everyone in one zone. The more concentrated the activity,
 //! the fewer tenants fit per group and the less is saved.
 
+use crate::parallel::par_map;
 use crate::pipeline::{compare_algorithms, defaults, ComparisonPoint, Harness};
 use crate::report::{num, pct, ExperimentResult, Table};
 use thrifty_workload::prelude::ActivityScenario;
@@ -15,25 +16,28 @@ pub const SCENARIOS: [(ActivityScenario, &str); 4] = [
     (ActivityScenario::Default, "default (7 zones)"),
     (ActivityScenario::NorthAmericaOnly, "(1) North America only"),
     (ActivityScenario::NorthAmericaNoLunch, "(2) NA + no lunch"),
-    (ActivityScenario::SingleZoneNoLunch, "(3) one zone + no lunch"),
+    (
+        ActivityScenario::SingleZoneNoLunch,
+        "(3) one zone + no lunch",
+    ),
 ];
 
 /// Runs Figure 7.6.
 pub fn fig_7_6(harness: &Harness) -> ExperimentResult {
-    let mut points: Vec<(ComparisonPoint, f64, f64)> = Vec::new();
-    for (scenario, label) in SCENARIOS {
-        let corpus = harness.histories(|c| c.scenario = scenario);
-        let stats = corpus.stats();
-        let peak = stats.max_concurrent_active as f64 / corpus.histories.len().max(1) as f64;
-        let point = compare_algorithms(
-            &corpus,
-            label,
-            defaults::EPOCH_MS,
-            defaults::REPLICATION,
-            defaults::SLA_P,
-        );
-        points.push((point, stats.average_active_ratio, peak));
-    }
+    let points: Vec<(ComparisonPoint, f64, f64)> =
+        par_map("sweep:fig7.6", &SCENARIOS, |&(scenario, label)| {
+            let corpus = harness.histories(|c| c.scenario = scenario);
+            let stats = corpus.stats();
+            let peak = stats.max_concurrent_active as f64 / corpus.histories.len().max(1) as f64;
+            let point = compare_algorithms(
+                &corpus,
+                label,
+                defaults::EPOCH_MS,
+                defaults::REPLICATION,
+                defaults::SLA_P,
+            );
+            (point, stats.average_active_ratio, peak)
+        });
     // The §7.4 scenarios concentrate the *same* per-tenant activity into
     // fewer wall-clock windows, so the time-averaged ratio barely moves
     // while the peak concurrency (the quantity that kills grouping)
@@ -41,7 +45,13 @@ pub fn fig_7_6(harness: &Harness) -> ExperimentResult {
     // the latter.
     let mut a = Table::new(
         "Figure 7.6a — consolidation effectiveness vs activity concentration",
-        &["scenario", "time-avg ratio", "peak concurrent", "FFD", "2-step"],
+        &[
+            "scenario",
+            "time-avg ratio",
+            "peak concurrent",
+            "FFD",
+            "2-step",
+        ],
     );
     let mut b = Table::new(
         "Figure 7.6b — average tenant-group size",
@@ -67,6 +77,7 @@ pub fn fig_7_6(harness: &Harness) -> ExperimentResult {
                   81.3% -> 34.8% saved as the active ratio rises to 34.4%)"
             .into(),
         tables: vec![a, b],
+        timings: Vec::new(),
     }
 }
 
@@ -83,9 +94,8 @@ mod tests {
         let r = fig_7_6(&h);
         let rows = &r.tables[0].rows;
         assert_eq!(rows.len(), 4);
-        let eff = |row: &Vec<String>| -> f64 {
-            row[4].trim_end_matches('%').parse::<f64>().unwrap()
-        };
+        let eff =
+            |row: &Vec<String>| -> f64 { row[4].trim_end_matches('%').parse::<f64>().unwrap() };
         // The Figure 7.6 shape: the single-zone no-lunch scenario saves
         // substantially fewer nodes than the default spread.
         assert!(

@@ -301,8 +301,13 @@ fn violation_rate(report: &ServiceReport, from_ms: u64, to_ms: u64) -> f64 {
 /// Runs Figure 7.7 end to end.
 pub fn fig_7_7(harness: &Harness) -> ExperimentResult {
     let scenario = build_scenario(harness);
-    let off = run_scenario(&scenario, false);
-    let on = run_scenario(&scenario, true);
+    // The two replays (scaling off / on) are independent full-service runs
+    // over the same immutable scenario.
+    let (off, on) = crate::parallel::par_join2(
+        "fig7.7:replay",
+        || run_scenario(&scenario, false),
+        || run_scenario(&scenario, true),
+    );
 
     // Figures 7.7a/c: hourly RT-TTP excerpts around the takeover window.
     let mut ttp = Table::new(
@@ -395,7 +400,12 @@ pub fn fig_7_7(harness: &Harness) -> ExperimentResult {
 
     let mut events = Table::new(
         "Elastic scaling actions (scaling ON run)",
-        &["triggered (h)", "over-active tenants", "new MPPDB ready (h)", "load time"],
+        &[
+            "triggered (h)",
+            "over-active tenants",
+            "new MPPDB ready (h)",
+            "load time",
+        ],
     );
     for e in &on.report.scaling_events {
         let trig_h = e.triggered_at.as_ms() as f64 / 3_600_000.0;
@@ -431,6 +441,7 @@ pub fn fig_7_7(harness: &Harness) -> ExperimentResult {
             scenario.injected,
         ),
         tables: vec![ttp, spark, perf, events],
+        timings: Vec::new(),
     }
 }
 

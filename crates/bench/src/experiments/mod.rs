@@ -29,7 +29,10 @@ pub const CORPUS_IDS: [&str; 9] = [
 /// experiments; pass the same harness across calls to reuse the session
 /// library.
 pub fn run(id: &str, harness: &Harness) -> Option<ExperimentResult> {
-    Some(match id {
+    // Drop stage timings left over from earlier work in this process so the
+    // result carries only its own stages.
+    let _ = crate::parallel::take_timings();
+    let mut result = match id {
         "fig1.1a" => fig1_1::fig_1_1a(),
         "fig1.1b" => fig1_1::fig_1_1b(),
         "fig1.1c" => fig1_1::fig_1_1c(),
@@ -46,5 +49,7 @@ pub fn run(id: &str, harness: &Harness) -> Option<ExperimentResult> {
         "headline" => headline::headline(harness),
         "ablate" => ablate::ablate(harness),
         _ => return None,
-    })
+    };
+    result.timings = crate::parallel::take_timings();
+    Some(result)
 }

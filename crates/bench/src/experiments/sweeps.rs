@@ -7,6 +7,7 @@
 //! effectiveness, (b) average tenant-group size, and (c) grouping runtime —
 //! for both the FFD baseline and the 2-step heuristic.
 
+use crate::parallel::par_map;
 use crate::pipeline::{compare_algorithms, defaults, ComparisonPoint, Harness, Scale};
 use crate::report::{dur, num, pct, ExperimentResult, Table};
 
@@ -52,19 +53,16 @@ pub fn fig_7_1(harness: &Harness) -> ExperimentResult {
         Scale::Small => &[0.1, 1.0, 10.0, 30.0, 90.0, 600.0, 1800.0],
         Scale::Full => &[0.1, 1.0, 10.0, 30.0, 90.0, 600.0, 1800.0],
     };
-    let points: Vec<ComparisonPoint> = epochs_s
-        .iter()
-        .map(|&e| {
-            let ms = (e * 1000.0) as u64;
-            compare_algorithms(
-                &corpus,
-                format!("{e}s"),
-                ms,
-                defaults::REPLICATION,
-                defaults::SLA_P,
-            )
-        })
-        .collect();
+    let points: Vec<ComparisonPoint> = par_map("sweep:fig7.1", epochs_s, |&e| {
+        let ms = (e * 1000.0) as u64;
+        compare_algorithms(
+            &corpus,
+            format!("{e}s"),
+            ms,
+            defaults::REPLICATION,
+            defaults::SLA_P,
+        )
+    });
     ExperimentResult {
         id: "fig7.1".into(),
         context: format!(
@@ -75,16 +73,14 @@ pub fn fig_7_1(harness: &Harness) -> ExperimentResult {
             corpus.average_active_ratio() * 100.0
         ),
         tables: standard_tables("7.1", "epoch E", &points),
+        timings: Vec::new(),
     }
 }
 
 /// Figure 7.2 — varying the number of tenants `T`.
 pub fn fig_7_2(harness: &Harness) -> ExperimentResult {
-    let points: Vec<ComparisonPoint> = harness
-        .scale()
-        .tenant_sweep()
-        .into_iter()
-        .map(|t| {
+    let points: Vec<ComparisonPoint> =
+        par_map("sweep:fig7.2", &harness.scale().tenant_sweep(), |&t| {
             let corpus = harness.histories(|c| c.tenants = t);
             compare_algorithms(
                 &corpus,
@@ -93,20 +89,19 @@ pub fn fig_7_2(harness: &Harness) -> ExperimentResult {
                 defaults::REPLICATION,
                 defaults::SLA_P,
             )
-        })
-        .collect();
+        });
     ExperimentResult {
         id: "fig7.2".into(),
         context: "tenant-count sweep at default epoch/R/P".into(),
         tables: standard_tables("7.2", "tenants T", &points),
+        timings: Vec::new(),
     }
 }
 
 /// Figure 7.3 — varying the tenant size distribution `θ`.
 pub fn fig_7_3(harness: &Harness) -> ExperimentResult {
-    let points: Vec<ComparisonPoint> = [0.1, 0.2, 0.5, 0.8, 0.99]
-        .into_iter()
-        .map(|theta| {
+    let points: Vec<ComparisonPoint> =
+        par_map("sweep:fig7.3", &[0.1, 0.2, 0.5, 0.8, 0.99], |&theta| {
             let corpus = harness.histories(|c| c.theta = theta);
             compare_algorithms(
                 &corpus,
@@ -115,44 +110,42 @@ pub fn fig_7_3(harness: &Harness) -> ExperimentResult {
                 defaults::REPLICATION,
                 defaults::SLA_P,
             )
-        })
-        .collect();
+        });
     ExperimentResult {
         id: "fig7.3".into(),
         context: "tenant-size skew sweep (Zipf θ; larger = more small tenants)".into(),
         tables: standard_tables("7.3", "θ", &points),
+        timings: Vec::new(),
     }
 }
 
 /// Figure 7.4 — varying the replication factor `R`.
 pub fn fig_7_4(harness: &Harness) -> ExperimentResult {
     let corpus = harness.default_histories();
-    let points: Vec<ComparisonPoint> = (1..=4)
-        .map(|r| {
-            compare_algorithms(
-                &corpus,
-                r.to_string(),
-                defaults::EPOCH_MS,
-                r,
-                defaults::SLA_P,
-            )
-        })
-        .collect();
+    let points: Vec<ComparisonPoint> = par_map("sweep:fig7.4", &[1, 2, 3, 4], |&r| {
+        compare_algorithms(
+            &corpus,
+            r.to_string(),
+            defaults::EPOCH_MS,
+            r,
+            defaults::SLA_P,
+        )
+    });
     ExperimentResult {
         id: "fig7.4".into(),
         context: "replication-factor sweep: higher R admits more concurrently active tenants \
                   per group but multiplies the replica cost"
             .into(),
         tables: standard_tables("7.4", "R", &points),
+        timings: Vec::new(),
     }
 }
 
 /// Figure 7.5 — varying the performance SLA guarantee `P`.
 pub fn fig_7_5(harness: &Harness) -> ExperimentResult {
     let corpus = harness.default_histories();
-    let points: Vec<ComparisonPoint> = [0.95, 0.99, 0.999, 0.9999]
-        .into_iter()
-        .map(|p| {
+    let points: Vec<ComparisonPoint> =
+        par_map("sweep:fig7.5", &[0.95, 0.99, 0.999, 0.9999], |&p| {
             compare_algorithms(
                 &corpus,
                 format!("{}%", p * 100.0),
@@ -160,12 +153,12 @@ pub fn fig_7_5(harness: &Harness) -> ExperimentResult {
                 defaults::REPLICATION,
                 p,
             )
-        })
-        .collect();
+        });
     ExperimentResult {
         id: "fig7.5".into(),
         context: "SLA-guarantee sweep: a looser P packs more tenants per group".into(),
         tables: standard_tables("7.5", "P", &points),
+        timings: Vec::new(),
     }
 }
 

@@ -43,6 +43,7 @@ pub fn tab_5_1() -> ExperimentResult {
                   bulk load; loading dominates start-up)"
             .into(),
         tables: vec![t],
+        timings: Vec::new(),
     }
 }
 

@@ -19,5 +19,6 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod parallel;
 pub mod pipeline;
 pub mod report;

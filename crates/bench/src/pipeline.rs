@@ -106,15 +106,15 @@ impl Harness {
         );
         let composer = Composer::new(&cfg, &self.library);
         let specs = composer.tenant_specs();
-        let histories: Vec<History> = specs
-            .iter()
-            .map(|s| {
-                (
-                    Tenant::new(s.id, s.nodes, s.data_gb),
-                    composer.busy_intervals(s),
-                )
-            })
-            .collect();
+        // Per-tenant composition is the pipeline's hot loop; every tenant's
+        // intervals derive from its own seeded stream, so the fan-out is
+        // order-independent (see crate::parallel's determinism contract).
+        let histories: Vec<History> = crate::parallel::par_map("histories", &specs, |s| {
+            (
+                Tenant::new(s.id, s.nodes, s.data_gb),
+                composer.busy_intervals(s),
+            )
+        });
         CorpusView {
             horizon_ms: cfg.horizon_ms(),
             cfg,
@@ -187,12 +187,19 @@ pub fn compare_algorithms(
         algorithm,
         exclusion: ExclusionPolicy::default(),
     };
-    let ffd = DeploymentAdvisor::new(mk(GroupingAlgorithm::Ffd))
-        .advise(&corpus.histories)
-        .report;
-    let two_step = DeploymentAdvisor::new(mk(GroupingAlgorithm::TwoStep))
-        .advise(&corpus.histories)
-        .report;
+    let (ffd, two_step) = crate::parallel::par_join2(
+        "compare_algorithms",
+        || {
+            DeploymentAdvisor::new(mk(GroupingAlgorithm::Ffd))
+                .advise(&corpus.histories)
+                .report
+        },
+        || {
+            DeploymentAdvisor::new(mk(GroupingAlgorithm::TwoStep))
+                .advise(&corpus.histories)
+                .report
+        },
+    );
     ComparisonPoint {
         label: label.into(),
         ffd,

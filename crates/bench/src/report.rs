@@ -4,10 +4,12 @@
 //! series of the corresponding paper figure; the harness prints them with
 //! aligned columns so EXPERIMENTS.md can quote them directly.
 
+use crate::parallel::StageTiming;
+use serde::Serialize;
 use std::fmt;
 
 /// One table of an experiment's output.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct Table {
     /// Table caption, e.g. `"Figure 7.1a — consolidation effectiveness"`.
     pub title: String,
@@ -68,8 +70,9 @@ impl fmt::Display for Table {
     }
 }
 
-/// A complete experiment result: identifier, context line, and tables.
-#[derive(Clone, Debug)]
+/// A complete experiment result: identifier, context line, tables, and the
+/// parallel-stage timings recorded while producing them.
+#[derive(Clone, Debug, Serialize)]
 pub struct ExperimentResult {
     /// Experiment id (e.g. `"fig7.1"`).
     pub id: String,
@@ -77,6 +80,10 @@ pub struct ExperimentResult {
     pub context: String,
     /// The tables.
     pub tables: Vec<Table>,
+    /// Wall-clock accounting of every parallel stage that ran, attached by
+    /// [`crate::experiments::run`] and persisted in `BENCH_<id>.json` so a
+    /// `THRIFTY_THREADS=1` baseline can be compared against a parallel run.
+    pub timings: Vec<StageTiming>,
 }
 
 impl fmt::Display for ExperimentResult {
@@ -86,8 +93,32 @@ impl fmt::Display for ExperimentResult {
             writeln!(f)?;
             write!(f, "{t}")?;
         }
+        if !self.timings.is_empty() {
+            writeln!(f)?;
+            write!(f, "{}", timing_table(&self.timings))?;
+        }
         Ok(())
     }
+}
+
+/// Renders stage timings as a standard [`Table`] (also used by the
+/// `experiments` binary for its stderr summary).
+pub fn timing_table(timings: &[StageTiming]) -> Table {
+    let mut t = Table::new(
+        "Parallel stage timings (busy = serial-equivalent cost)",
+        &["stage", "tasks", "threads", "wall", "busy", "speedup"],
+    );
+    for s in timings {
+        t.push_row(vec![
+            s.stage.clone(),
+            s.tasks.to_string(),
+            s.threads.to_string(),
+            dur(s.wall),
+            dur(s.busy),
+            format!("{:.1}x", s.speedup()),
+        ]);
+    }
+    t
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -104,7 +135,10 @@ pub fn num(x: f64, digits: usize) -> String {
 /// outside the range are clamped). Handy for RT-TTP traces in terminal
 /// output.
 pub fn sparkline(values: &[f64], lo: f64, hi: f64) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     assert!(hi > lo, "sparkline range must be non-empty");
     values
         .iter()
@@ -164,7 +198,7 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(pct(0.815), "81.5%");
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(1.23456, 2), "1.23");
         assert_eq!(dur(std::time::Duration::from_millis(250)), "250ms");
         assert_eq!(dur(std::time::Duration::from_secs(90)), "90.0s");
         assert_eq!(dur(std::time::Duration::from_secs(600)), "10.0min");

@@ -61,7 +61,10 @@ pub struct ActivityVector {
 impl ActivityVector {
     /// An always-inactive vector over `d` epochs.
     pub fn empty(d: u32) -> Self {
-        ActivityVector { runs: Vec::new(), d }
+        ActivityVector {
+            runs: Vec::new(),
+            d,
+        }
     }
 
     /// Builds a vector from merged, sorted busy intervals in milliseconds

@@ -82,7 +82,10 @@ impl UsageMeter {
             .usage
             .get_mut(&tenant)
             .unwrap_or_else(|| panic!("tenant {tenant} has no running query to finish"));
-        assert!(u.running > 0, "tenant {tenant} has no running query to finish");
+        assert!(
+            u.running > 0,
+            "tenant {tenant} has no running query to finish"
+        );
         u.running -= 1;
         u.queries += 1;
         if u.running == 0 {
@@ -115,9 +118,8 @@ impl UsageMeter {
     pub fn invoice(&self, tenant: &Tenant, tariff: &Tariff, billing_days: f64) -> Invoice {
         let active_ms = self.active_ms(tenant.id);
         let subscription = tariff.node_day_price * f64::from(tenant.nodes) * billing_days;
-        let usage = tariff.active_node_second_price
-            * f64::from(tenant.nodes)
-            * (active_ms as f64 / 1000.0);
+        let usage =
+            tariff.active_node_second_price * f64::from(tenant.nodes) * (active_ms as f64 / 1000.0);
         Invoice {
             tenant: tenant.id,
             requested_nodes: tenant.nodes,

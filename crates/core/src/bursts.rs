@@ -187,7 +187,9 @@ mod tests {
     fn recurring_bursts_are_predicted() {
         // Bursts every 7 days: next one predicted a period after the last.
         let iv = history(&[7, 14, 21, 28], 30);
-        let rec = detector().recurring(&iv, 30 * DAY).expect("periodic series");
+        let rec = detector()
+            .recurring(&iv, 30 * DAY)
+            .expect("periodic series");
         assert_eq!(rec.bursts.len(), 4);
         assert_eq!(rec.period_ms, 7 * DAY);
         assert_eq!(rec.next_predicted_ms, 35 * DAY);

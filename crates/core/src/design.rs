@@ -52,7 +52,11 @@ impl TenantGroupPlan {
 
     /// The largest member's node request, `n_1`.
     pub fn largest_request(&self) -> u32 {
-        self.members.iter().map(|t| t.nodes).max().expect("non-empty")
+        self.members
+            .iter()
+            .map(|t| t.nodes)
+            .max()
+            .expect("non-empty")
     }
 
     /// Nodes of the tuning MPPDB (`U`).
@@ -107,8 +111,7 @@ impl DeploymentPlan {
             .groups
             .iter()
             .map(|g| {
-                let members: Vec<Tenant> =
-                    g.members.iter().map(|&i| problem.tenants[i]).collect();
+                let members: Vec<Tenant> = g.members.iter().map(|&i| problem.tenants[i]).collect();
                 let n1 = members.iter().map(|t| t.nodes).max().expect("non-empty");
                 TenantGroupPlan::new(members, problem.replication, n1)
             })

@@ -111,18 +111,8 @@ pub fn divergent_group_plan(
         .map(|t| t.nodes)
         .max()
         .expect("a tenant-group needs members");
-    let data_gb = members
-        .iter()
-        .map(|t| t.data_gb)
-        .fold(0.0f64, f64::max);
-    let sizing = size_divergent_tuning_mppdb(
-        templates,
-        data_gb,
-        n1,
-        overflow_degree,
-        slack,
-        max_u,
-    );
+    let data_gb = members.iter().map(|t| t.data_gb).fold(0.0f64, f64::max);
+    let sizing = size_divergent_tuning_mppdb(templates, data_gb, n1, overflow_degree, slack, max_u);
     let plan = TenantGroupPlan::new(members, replication, sizing.u);
     (plan, sizing)
 }
@@ -155,24 +145,16 @@ mod tests {
 
     #[test]
     fn nonlinear_templates_are_reported_not_sized() {
-        let sizing = size_divergent_tuning_mppdb(
-            &[linear(100.0), nonlinear()],
-            800.0,
-            8,
-            2,
-            1.0,
-            1024,
-        );
+        let sizing =
+            size_divergent_tuning_mppdb(&[linear(100.0), nonlinear()], 800.0, 8, 2, 1.0, 1024);
         assert_eq!(sizing.infeasible, vec![1]);
         assert_eq!(sizing.u, 16); // sized by the feasible template
     }
 
     #[test]
     fn divergent_plan_grows_the_tuning_mppdb_upfront() {
-        let members: Vec<Tenant> =
-            (0..5).map(|i| Tenant::new(TenantId(i), 4, 400.0)).collect();
-        let (plan, sizing) =
-            divergent_group_plan(members, 3, &[linear(150.0)], 3, 1.0, 64);
+        let members: Vec<Tenant> = (0..5).map(|i| Tenant::new(TenantId(i), 4, 400.0)).collect();
+        let (plan, sizing) = divergent_group_plan(members, 3, &[linear(150.0)], 3, 1.0, 64);
         assert_eq!(sizing.u, 12); // absorb 3 concurrent linear queries
         assert_eq!(plan.mppdb_nodes, vec![12, 4, 4]);
         assert_eq!(plan.nodes_used(), 20);

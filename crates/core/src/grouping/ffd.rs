@@ -76,12 +76,11 @@ pub fn ffd_grouping_with(problem: &GroupingProblem, config: FfdConfig) -> Groupi
     };
     order.sort_by_key(|&i| (std::cmp::Reverse(key(i)), i));
 
-    let fits = |hist: &ActiveCountHistogram, v: &crate::activity::ActivityVector| match config
-        .capacity
-    {
-        FfdCapacity::Hard => hist.fits_within(v, problem.replication),
-        FfdCapacity::Fuzzy => hist.ttp_with(v, problem.replication) >= problem.sla_p,
-    };
+    let fits =
+        |hist: &ActiveCountHistogram, v: &crate::activity::ActivityVector| match config.capacity {
+            FfdCapacity::Hard => hist.fits_within(v, problem.replication),
+            FfdCapacity::Fuzzy => hist.ttp_with(v, problem.replication) >= problem.sla_p,
+        };
     let mut bins: Vec<(TenantGroup, ActiveCountHistogram)> = Vec::new();
     for i in order {
         let v = &problem.activities[i];

@@ -53,10 +53,7 @@ impl ActiveCountHistogram {
 
     /// Highest concurrent-active level that occurs in any epoch.
     pub fn max_level(&self) -> usize {
-        self.level_hist
-            .iter()
-            .rposition(|&n| n > 0)
-            .unwrap_or(0)
+        self.level_hist.iter().rposition(|&n| n > 0).unwrap_or(0)
     }
 
     /// The histogram over count levels (`[c]` = epochs with exactly `c`
@@ -68,10 +65,7 @@ impl ActiveCountHistogram {
 
     /// Number of epochs with **more than** `r` concurrently active members.
     pub fn epochs_above(&self, r: u32) -> u64 {
-        self.level_hist
-            .iter()
-            .skip(r as usize + 1)
-            .sum()
+        self.level_hist.iter().skip(r as usize + 1).sum()
     }
 
     /// The TTP: fraction of epochs with at most `r` active members
@@ -305,7 +299,10 @@ mod tests {
         // Disjoint candidate: fits as long as the group itself is within r.
         let disjoint = av(&[3, 4], 12);
         assert!(h.fits_within(&disjoint, 2));
-        assert!(!h.fits_within(&disjoint, 1), "the group already has an epoch at 2");
+        assert!(
+            !h.fits_within(&disjoint, 1),
+            "the group already has an epoch at 2"
+        );
         // An already-violating group accepts nobody under hard capacity.
         let mut over = ActiveCountHistogram::new(4);
         for _ in 0..3 {

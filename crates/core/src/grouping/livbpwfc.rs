@@ -212,12 +212,12 @@ pub(crate) mod tests {
     pub(crate) fn figure_5_1_problem(r: u32, p: f64) -> GroupingProblem {
         let d = 10;
         let epochs: [&[u32]; 6] = [
-            &[0, 1, 2, 3, 4, 5],    // T1: active t1..t6
-            &[6, 7, 8, 9],          // T2
-            &[1, 2, 3],             // T3 (least active seed of Figure 5.3)
-            &[4, 5, 6, 8, 9],       // T4
-            &[0, 1, 4, 5],          // T5
-            &[2, 3, 4, 6, 7, 8],    // T6
+            &[0, 1, 2, 3, 4, 5], // T1: active t1..t6
+            &[6, 7, 8, 9],       // T2
+            &[1, 2, 3],          // T3 (least active seed of Figure 5.3)
+            &[4, 5, 6, 8, 9],    // T4
+            &[0, 1, 4, 5],       // T5
+            &[2, 3, 4, 6, 7, 8], // T6
         ];
         let tenants = (0..6)
             .map(|i| Tenant::new(TenantId(i as u32), 4, 400.0))
@@ -294,20 +294,12 @@ pub(crate) mod tests {
                 members: (0..6).collect(),
             }],
         };
-        assert!(sol
-            .validate(&p)
-            .unwrap_err()
-            .contains("fuzzy capacity"));
+        assert!(sol.validate(&p).unwrap_err().contains("fuzzy capacity"));
     }
 
     #[test]
     #[should_panic(expected = "one activity vector per tenant")]
     fn mismatched_lengths_panic() {
-        let _ = GroupingProblem::new(
-            vec![Tenant::new(TenantId(0), 2, 200.0)],
-            vec![],
-            3,
-            0.999,
-        );
+        let _ = GroupingProblem::new(vec![Tenant::new(TenantId(0), 2, 200.0)], vec![], 3, 0.999);
     }
 }

@@ -20,4 +20,6 @@ pub use exact::{exact_grouping, MAX_EXACT_TENANTS};
 pub use ffd::{ffd_grouping, ffd_grouping_with, FfdCapacity, FfdConfig, FfdOrder};
 pub use histogram::{compare_level_hists, ActiveCountHistogram};
 pub use livbpwfc::{GroupingProblem, GroupingSolution, TenantGroup};
-pub use two_step::{two_step_grouping, two_step_grouping_with, GroupClosing, TieBreaking, TwoStepConfig};
+pub use two_step::{
+    two_step_grouping, two_step_grouping_with, GroupClosing, TieBreaking, TwoStepConfig,
+};

@@ -137,9 +137,7 @@ fn split_bucket(
             // candidate that still does.
             let feasible_pos = select_best(problem, &hist, &remaining, config, true);
             let candidate = remaining[feasible_pos];
-            if hist.ttp_with(&problem.activities[candidate], problem.replication)
-                >= problem.sla_p
-            {
+            if hist.ttp_with(&problem.activities[candidate], problem.replication) >= problem.sla_p {
                 hist.add(&problem.activities[candidate]);
                 members.push(candidate);
                 remaining.swap_remove(feasible_pos);
@@ -214,8 +212,8 @@ fn compare_top_level(a: &[u64], b: &[u64]) -> Ordering {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grouping::livbpwfc::tests::figure_5_1_problem;
     use crate::activity::ActivityVector;
+    use crate::grouping::livbpwfc::tests::figure_5_1_problem;
     use crate::tenant::{Tenant, TenantId};
 
     #[test]
@@ -301,9 +299,7 @@ mod tests {
     fn inactive_tenants_all_share_one_group() {
         let d = 100;
         let n = 50;
-        let tenants: Vec<Tenant> = (0..n)
-            .map(|i| Tenant::new(TenantId(i), 4, 400.0))
-            .collect();
+        let tenants: Vec<Tenant> = (0..n).map(|i| Tenant::new(TenantId(i), 4, 400.0)).collect();
         let activities = vec![ActivityVector::empty(d); n as usize];
         let problem = GroupingProblem::new(tenants, activities, 3, 0.999);
         let solution = two_step_grouping(&problem);

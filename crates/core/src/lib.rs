@@ -79,18 +79,20 @@ pub mod tuning;
 /// Commonly used types, re-exported for glob import.
 pub mod prelude {
     pub use crate::activity::{ActivityVector, EpochConfig};
-    pub use crate::billing::{Invoice, ProviderEconomics, Tariff, UsageMeter};
-    pub use crate::bursts::{Burst, BurstDetector, RecurringBurst};
     pub use crate::advisor::{
         Advice, AdvisorConfig, DeploymentAdvisor, ExclusionPolicy, GroupingAlgorithm,
     };
+    pub use crate::billing::{Invoice, ProviderEconomics, Tariff, UsageMeter};
+    pub use crate::bursts::{Burst, BurstDetector, RecurringBurst};
     pub use crate::design::{DeploymentPlan, TenantGroupPlan};
-    pub use crate::divergent::{divergent_group_plan, size_divergent_tuning_mppdb, DivergentSizing, TemplateSizing};
+    pub use crate::divergent::{
+        divergent_group_plan, size_divergent_tuning_mppdb, DivergentSizing, TemplateSizing,
+    };
     pub use crate::error::{ThriftyError, ThriftyResult};
     pub use crate::grouping::{
-        exact_grouping, ffd_grouping, ffd_grouping_with, two_step_grouping, two_step_grouping_with, FfdCapacity, FfdConfig, FfdOrder,
-        ActiveCountHistogram, GroupClosing, GroupingProblem, GroupingSolution, TenantGroup, TieBreaking,
-        TwoStepConfig,
+        exact_grouping, ffd_grouping, ffd_grouping_with, two_step_grouping, two_step_grouping_with,
+        ActiveCountHistogram, FfdCapacity, FfdConfig, FfdOrder, GroupClosing, GroupingProblem,
+        GroupingSolution, TenantGroup, TieBreaking, TwoStepConfig,
     };
     pub use crate::master::{Deployment, DeploymentMaster};
     pub use crate::metrics::ConsolidationReport;

@@ -50,11 +50,8 @@ impl DeploymentMaster {
         }
         let mut instances = Vec::with_capacity(plan.groups.len());
         for group in &plan.groups {
-            let datasets: Vec<(SimTenantId, f64)> = group
-                .members
-                .iter()
-                .map(|t| (t.id, t.data_gb))
-                .collect();
+            let datasets: Vec<(SimTenantId, f64)> =
+                group.members.iter().map(|t| (t.id, t.data_gb)).collect();
             let mut group_instances = Vec::with_capacity(group.mppdb_nodes.len());
             for &nodes in &group.mppdb_nodes {
                 let id = cluster.provision_instance(nodes as usize, &datasets)?;
@@ -145,14 +142,16 @@ mod tests {
     fn too_small_cluster_is_rejected() {
         let mut cluster = Cluster::new(ClusterConfig::new(4));
         let err = DeploymentMaster::deploy(&plan(), &mut cluster).unwrap_err();
-        assert!(matches!(err, ThriftyError::ClusterTooSmall { required: 12, .. }));
+        assert!(matches!(
+            err,
+            ThriftyError::ClusterTooSmall { required: 12, .. }
+        ));
     }
 
     #[test]
     fn empty_plan_is_rejected() {
         let mut cluster = Cluster::new(ClusterConfig::new(4));
-        let err =
-            DeploymentMaster::deploy(&DeploymentPlan::default(), &mut cluster).unwrap_err();
+        let err = DeploymentMaster::deploy(&DeploymentPlan::default(), &mut cluster).unwrap_err();
         assert_eq!(err, ThriftyError::EmptyPlan);
     }
 }

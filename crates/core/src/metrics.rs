@@ -67,8 +67,8 @@ impl fmt::Display for ConsolidationReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grouping::two_step_grouping;
     use crate::grouping::livbpwfc::tests::figure_5_1_problem;
+    use crate::grouping::two_step_grouping;
 
     #[test]
     fn report_summarizes_a_run() {

@@ -226,7 +226,7 @@ mod tests {
         m.on_query_start(T3, 100); // third active tenant: violation opens
         assert_eq!(m.active_tenants(), 3);
         m.on_query_finish(T3, 300); // back to 2: violation closes
-        // 200 ms violated out of 1000 observed at t = 1000.
+                                    // 200 ms violated out of 1000 observed at t = 1000.
         assert!((m.rt_ttp(1_000) - 0.8).abs() < 1e-12);
     }
 

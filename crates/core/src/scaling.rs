@@ -201,15 +201,8 @@ mod tests {
             (TenantId(2), 0.05),
         ]
         .into();
-        let over = identify_over_active(
-            &members(3),
-            &monitor,
-            1,
-            0.999,
-            1_000,
-            100_000,
-            Some(&hist),
-        );
+        let over =
+            identify_over_active(&members(3), &monitor, 1, 0.999, 1_000, 100_000, Some(&hist));
         assert_eq!(over, vec![TenantId(0)]);
     }
 

@@ -237,10 +237,7 @@ impl ThriftyService {
     /// scaling only moves tenants that are genuinely *more active than the
     /// history indicated* (Chapter 5.1); without them, everyone the runtime
     /// grouping cannot keep in one group is eligible.
-    pub fn set_historical_activity(
-        &mut self,
-        ratios: impl IntoIterator<Item = (TenantId, f64)>,
-    ) {
+    pub fn set_historical_activity(&mut self, ratios: impl IntoIterator<Item = (TenantId, f64)>) {
         self.historical_ratios = ratios.into_iter().collect();
     }
 
@@ -283,9 +280,8 @@ impl ThriftyService {
     /// completion that surfaced late) executes *now* — the monitor's
     /// interval accounting requires monotone event times.
     pub fn submit(&mut self, q: IncomingQuery) -> ThriftyResult<()> {
-        let at = SimTime::from_ms(
-            (q.submit.as_ms() + self.offset_ms).max(self.cluster.now().as_ms()),
-        );
+        let at =
+            SimTime::from_ms((q.submit.as_ms() + self.offset_ms).max(self.cluster.now().as_ms()));
         self.advance_to(at);
         self.submit_query(q, at)
     }
@@ -601,9 +597,7 @@ impl ThriftyService {
         let kept_ids: Vec<TenantId> = self.groups[gi].members.iter().map(|m| m.id).collect();
         for info in self.inflight.values_mut() {
             if info.group == gi && kept_ids.contains(&info.tenant) {
-                self.groups[gi]
-                    .monitor
-                    .on_query_start(info.tenant, now_ms);
+                self.groups[gi].monitor.on_query_start(info.tenant, now_ms);
                 info.monitor_generation = new_generation;
             }
         }
@@ -806,8 +800,7 @@ mod tests {
             ..ServiceConfig::default()
         };
         let mut s =
-            ThriftyService::deploy(&two_tenant_plan(1), 16, [linear_template()], config)
-                .unwrap();
+            ThriftyService::deploy(&two_tenant_plan(1), 16, [linear_template()], config).unwrap();
         // Baseline 60 s queries. Tenant 0 submits every 50 s (continuously
         // active), tenant 1 every 400 s.
         let mut queries = Vec::new();
@@ -843,8 +836,7 @@ mod tests {
             ..ServiceConfig::default()
         };
         let mut s =
-            ThriftyService::deploy(&two_tenant_plan(2), 16, [linear_template()], config)
-                .unwrap();
+            ThriftyService::deploy(&two_tenant_plan(2), 16, [linear_template()], config).unwrap();
         let report = s
             .replay([q(0, 0, 60_000), q(1, 500, 60_000), q(0, 1_000, 60_000)])
             .unwrap();
@@ -852,6 +844,9 @@ mod tests {
         for w in report.ttp_trace.windows(2) {
             assert!(w[0].at_ms <= w[1].at_ms);
         }
-        assert!(report.ttp_trace.iter().all(|s| s.rt_ttp >= 0.0 && s.rt_ttp <= 1.0));
+        assert!(report
+            .ttp_trace
+            .iter()
+            .all(|s| s.rt_ttp >= 0.0 && s.rt_ttp <= 1.0));
     }
 }

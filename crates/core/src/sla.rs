@@ -112,10 +112,7 @@ impl SlaSummary {
         SlaSummary {
             total: records.len(),
             met: records.iter().filter(|r| r.met).count(),
-            worst_normalized: records
-                .iter()
-                .map(|r| r.normalized)
-                .fold(1.0, f64::max),
+            worst_normalized: records.iter().map(|r| r.normalized).fold(1.0, f64::max),
         }
     }
 

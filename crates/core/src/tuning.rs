@@ -36,7 +36,10 @@ pub fn recommend_tuning_nodes(
 ) -> Option<u32> {
     assert!(n1 > 0, "n1 must be positive");
     assert!(concurrency > 0, "concurrency must be positive");
-    assert!(slack >= 1.0, "slack below 1.0 is unsatisfiable by definition");
+    assert!(
+        slack >= 1.0,
+        "slack below 1.0 is unsatisfiable by definition"
+    );
     let baseline = isolated_latency_ms(template, data_gb, n1 as usize);
     for u in n1..=max_u.max(n1) {
         // Processor sharing: k concurrent queries each run k-fold slower.

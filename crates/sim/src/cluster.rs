@@ -138,11 +138,22 @@ impl SimEvent {
 
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum PendingKind {
-    CompletionCheck { instance: InstanceId, version: u64 },
+    CompletionCheck {
+        instance: InstanceId,
+        version: u64,
+    },
     InstanceReady(InstanceId),
-    TenantLoaded { instance: InstanceId, tenant: SimTenantId, gb_bits: u64 },
+    TenantLoaded {
+        instance: InstanceId,
+        tenant: SimTenantId,
+        gb_bits: u64,
+    },
     NodeFailure(NodeId),
-    NodeReplacement { instance: InstanceId, failed: NodeId, replacement: NodeId },
+    NodeReplacement {
+        instance: InstanceId,
+        failed: NodeId,
+        replacement: NodeId,
+    },
 }
 
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -255,7 +266,11 @@ impl Cluster {
             group.push(id);
         }
         let total_gb: f64 = tenants.iter().map(|(_, gb)| gb).sum();
-        let ready_at = self.now + self.config.provisioning.provision_time(node_count, total_gb);
+        let ready_at = self.now
+            + self
+                .config
+                .provisioning
+                .provision_time(node_count, total_gb);
         let id = InstanceId(self.instances.len() as u32);
         let hosted: BTreeMap<SimTenantId, f64> = tenants.iter().copied().collect();
         self.instances
@@ -308,9 +323,7 @@ impl Cluster {
         let inst = self.instance_mut(instance)?;
         match inst.state() {
             InstanceState::Ready => {}
-            InstanceState::Provisioning { .. } => {
-                return Err(SimError::InstanceNotReady(instance))
-            }
+            InstanceState::Provisioning { .. } => return Err(SimError::InstanceNotReady(instance)),
             InstanceState::Decommissioned => {
                 return Err(SimError::InstanceDecommissioned(instance))
             }
@@ -321,7 +334,8 @@ impl Cluster {
                 tenant: spec.tenant,
             });
         }
-        let dedicated_ms = isolated_latency_ms(&spec.template, spec.data_gb, inst.effective_nodes());
+        let dedicated_ms =
+            isolated_latency_ms(&spec.template, spec.data_gb, inst.effective_nodes());
         inst.advance(now);
         inst.push_running(RunningQuery {
             id,
@@ -353,9 +367,7 @@ impl Cluster {
         let inst = self.instance_mut(instance)?;
         match inst.state() {
             InstanceState::Ready => {}
-            InstanceState::Provisioning { .. } => {
-                return Err(SimError::InstanceNotReady(instance))
-            }
+            InstanceState::Provisioning { .. } => return Err(SimError::InstanceNotReady(instance)),
             InstanceState::Decommissioned => {
                 return Err(SimError::InstanceDecommissioned(instance))
             }
@@ -661,9 +673,11 @@ mod tests {
         // q0 runs alone for 5 s, then shares with q1: piecewise PS schedule.
         let (mut c, id) = ready_cluster(4);
         let t = linear_template();
-        c.submit(id, QuerySpec::new(t, 100.0, SimTenantId(0))).unwrap(); // 15 s work
+        c.submit(id, QuerySpec::new(t, 100.0, SimTenantId(0)))
+            .unwrap(); // 15 s work
         c.run_until(SimTime::from_secs(5));
-        c.submit(id, QuerySpec::new(t, 100.0, SimTenantId(1))).unwrap(); // 15 s work
+        c.submit(id, QuerySpec::new(t, 100.0, SimTenantId(1)))
+            .unwrap(); // 15 s work
         let events = c.run_to_quiescence();
         let mut latencies: Vec<(SimTenantId, u64)> = events
             .iter()
@@ -676,15 +690,16 @@ mod tests {
         // q0: 5 s solo (10 s work left) + 20 s shared = 25 s total.
         // q1: shares until q0 finishes at t=25 (has done 10 s of its 15 s),
         //     then 5 s solo: finishes at t=30, latency 25 s.
-        assert_eq!(latencies, vec![(SimTenantId(0), 25_000), (SimTenantId(1), 25_000)]);
+        assert_eq!(
+            latencies,
+            vec![(SimTenantId(0), 25_000), (SimTenantId(1), 25_000)]
+        );
     }
 
     #[test]
     fn provisioning_delay_follows_the_model() {
         let mut c = Cluster::new(ClusterConfig::new(4));
-        let id = c
-            .provision_instance(2, &[(SimTenantId(0), 200.0)])
-            .unwrap();
+        let id = c.provision_instance(2, &[(SimTenantId(0), 200.0)]).unwrap();
         assert!(matches!(
             c.instance(id).unwrap().state(),
             InstanceState::Provisioning { .. }
@@ -711,7 +726,10 @@ mod tests {
         assert_eq!(aborted, 1);
         assert_eq!(c.free_nodes(), 4);
         assert!(c.run_to_quiescence().is_empty());
-        assert_eq!(c.decommission(id), Err(SimError::InstanceDecommissioned(id)));
+        assert_eq!(
+            c.decommission(id),
+            Err(SimError::InstanceDecommissioned(id))
+        );
     }
 
     #[test]
@@ -732,7 +750,8 @@ mod tests {
         let id = c.provision_instance(4, &[(SimTenantId(0), 100.0)]).unwrap();
         c.run_to_quiescence();
         let victim = c.instance(id).unwrap().nodes()[0];
-        c.inject_node_failure(victim, SimTime::from_secs(400)).unwrap();
+        c.inject_node_failure(victim, SimTime::from_secs(400))
+            .unwrap();
         let events = c.run_until(SimTime::from_secs(400));
         assert!(matches!(
             events[0],
@@ -752,7 +771,8 @@ mod tests {
         let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(4));
         let id = c.provision_instance(4, &[(SimTenantId(0), 100.0)]).unwrap();
         let victim = c.instance(id).unwrap().nodes()[2];
-        c.inject_node_failure(victim, SimTime::from_secs(1)).unwrap();
+        c.inject_node_failure(victim, SimTime::from_secs(1))
+            .unwrap();
         c.run_to_quiescence();
         assert_eq!(c.instance(id).unwrap().effective_nodes(), 3);
     }
@@ -779,16 +799,17 @@ mod tests {
         assert!(c.submit(id, spec).is_err());
         c.load_tenant(id, SimTenantId(7), 100.0).unwrap();
         let events = c.run_to_quiescence();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, SimEvent::TenantLoaded { tenant, .. } if *tenant == SimTenantId(7))));
+        assert!(events.iter().any(
+            |e| matches!(e, SimEvent::TenantLoaded { tenant, .. } if *tenant == SimTenantId(7))
+        ));
         assert!(c.submit(id, spec).is_ok());
     }
 
     #[test]
     fn hibernated_node_failure_shrinks_the_pool() {
         let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(3));
-        c.inject_node_failure(NodeId(2), SimTime::from_secs(1)).unwrap();
+        c.inject_node_failure(NodeId(2), SimTime::from_secs(1))
+            .unwrap();
         let events = c.run_to_quiescence();
         assert!(matches!(
             events[0],
@@ -805,8 +826,10 @@ mod tests {
         let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(4));
         let id = c.provision_instance(2, &[(SimTenantId(0), 1.0)]).unwrap();
         let victim = c.instance(id).unwrap().nodes()[0];
-        c.inject_node_failure(victim, SimTime::from_secs(1)).unwrap();
-        c.inject_node_failure(victim, SimTime::from_secs(2)).unwrap();
+        c.inject_node_failure(victim, SimTime::from_secs(1))
+            .unwrap();
+        c.inject_node_failure(victim, SimTime::from_secs(2))
+            .unwrap();
         let events = c.run_to_quiescence();
         let failures = events
             .iter()
@@ -846,8 +869,12 @@ mod tests {
     fn cancelled_queries_never_complete() {
         let (mut c, id) = ready_cluster(2);
         let t = linear_template();
-        let q0 = c.submit(id, QuerySpec::new(t, 10.0, SimTenantId(0))).unwrap();
-        let q1 = c.submit(id, QuerySpec::new(t, 10.0, SimTenantId(1))).unwrap();
+        let q0 = c
+            .submit(id, QuerySpec::new(t, 10.0, SimTenantId(0)))
+            .unwrap();
+        let q1 = c
+            .submit(id, QuerySpec::new(t, 10.0, SimTenantId(1)))
+            .unwrap();
         c.run_until(SimTime::from_secs(1));
         let (spec, submitted) = c.cancel_query(id, q0).unwrap();
         assert_eq!(spec.tenant, SimTenantId(0));
@@ -876,10 +903,13 @@ mod tests {
         let (mut c, id) = ready_cluster(2);
         let t = linear_template();
         // Three queries with distinct finish times.
-        c.submit(id, QuerySpec::new(t, 10.0, SimTenantId(0))).unwrap();
-        c.submit(id, QuerySpec::new(t, 20.0, SimTenantId(1))).unwrap();
+        c.submit(id, QuerySpec::new(t, 10.0, SimTenantId(0)))
+            .unwrap();
+        c.submit(id, QuerySpec::new(t, 20.0, SimTenantId(1)))
+            .unwrap();
         c.run_until(SimTime::from_secs(2));
-        c.submit(id, QuerySpec::new(t, 5.0, SimTenantId(0))).unwrap();
+        c.submit(id, QuerySpec::new(t, 5.0, SimTenantId(0)))
+            .unwrap();
         let events = c.run_to_quiescence();
         let times: Vec<u64> = events.iter().map(|e| e.at().as_ms()).collect();
         let mut sorted = times.clone();

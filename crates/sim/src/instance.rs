@@ -9,17 +9,15 @@
 //! 2× slower, four finish 4× slower, while sequential submissions (`xT-SEQ`)
 //! are unaffected.
 
+use crate::node::NodeId;
 use crate::query::{QueryId, QuerySpec, SimTenantId};
 use crate::time::SimTime;
-use crate::node::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of an MPPDB instance within a [`crate::cluster::Cluster`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct InstanceId(pub u32);
 
 impl fmt::Display for InstanceId {
@@ -280,7 +278,10 @@ mod tests {
         i.push_running(rq(2, 1, 10_000.0, SimTime::ZERO));
         // After 10 s of wall time with k=2, each query got 5 s of service.
         i.advance(SimTime::from_secs(10));
-        assert!(i.running.iter().all(|q| (q.remaining_ms - 5_000.0).abs() < 1e-9));
+        assert!(i
+            .running
+            .iter()
+            .all(|q| (q.remaining_ms - 5_000.0).abs() < 1e-9));
         // Next completion: 5 s of work at rate 1/2 -> 10 s from now.
         let next = i.next_completion_time(SimTime::from_secs(10)).unwrap();
         assert_eq!(next, SimTime::from_secs(20));

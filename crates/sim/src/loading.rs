@@ -141,7 +141,10 @@ mod tests {
     fn load_rate_is_about_1_2_gb_per_minute() {
         let m = ProvisioningModel::paper_calibrated();
         let rate_gb_per_min = 1000.0 / (m.bulk_load_time(1000.0).as_secs_f64() / 60.0);
-        assert!((1.1..=1.3).contains(&rate_gb_per_min), "rate {rate_gb_per_min}");
+        assert!(
+            (1.1..=1.3).contains(&rate_gb_per_min),
+            "rate {rate_gb_per_min}"
+        );
     }
 
     #[test]

@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a physical machine node in the shared cluster.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {

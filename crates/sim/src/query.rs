@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a query template (e.g. "TPC-H Q1" is one template).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct TemplateId(pub u32);
 
 impl fmt::Display for TemplateId {
@@ -28,9 +26,7 @@ impl fmt::Display for TemplateId {
 }
 
 /// Identifier of a submitted query instance, unique within one simulation.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct QueryId(pub u64);
 
 impl fmt::Display for QueryId {
@@ -44,9 +40,7 @@ impl fmt::Display for QueryId {
 /// The simulator only needs tenant identity to account for which instance
 /// hosts whose data; all tenant semantics (requested nodes, SLAs, grouping)
 /// live in the `thrifty` crate.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct SimTenantId(pub u32);
 
 impl fmt::Display for SimTenantId {

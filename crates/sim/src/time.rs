@@ -192,7 +192,10 @@ mod tests {
         let t = SimTime::from_secs(10) + SimDuration::from_ms(500);
         assert_eq!(t.as_ms(), 10_500);
         assert_eq!(t.saturating_since(SimTime::from_secs(10)).as_ms(), 500);
-        assert_eq!(t.saturating_since(SimTime::from_secs(20)), SimDuration::ZERO);
+        assert_eq!(
+            t.saturating_since(SimTime::from_secs(20)),
+            SimDuration::ZERO
+        );
         assert_eq!(t.checked_since(SimTime::from_secs(20)), None);
     }
 

@@ -28,11 +28,7 @@ pub fn merge_intervals(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
 ///
 /// # Panics
 /// Panics if `epoch_ms` is zero.
-pub fn epochs_from_intervals(
-    intervals: &[(u64, u64)],
-    epoch_ms: u64,
-    horizon_ms: u64,
-) -> Vec<u32> {
+pub fn epochs_from_intervals(intervals: &[(u64, u64)], epoch_ms: u64, horizon_ms: u64) -> Vec<u32> {
     assert!(epoch_ms > 0, "epoch size must be positive");
     let mut out: Vec<u32> = Vec::new();
     for &(s, e) in intervals {
@@ -149,10 +145,10 @@ mod tests {
     #[test]
     fn stats_measure_ratio_and_concurrency() {
         let per_tenant = vec![
-            vec![(0, 50)],        // busy half the horizon
-            vec![(25, 75)],       // overlaps the first tenant for 25 ms
-            vec![],               // never active
-            vec![(90, 200)],      // clipped to (90, 100)
+            vec![(0, 50)],   // busy half the horizon
+            vec![(25, 75)],  // overlaps the first tenant for 25 ms
+            vec![],          // never active
+            vec![(90, 200)], // clipped to (90, 100)
         ];
         let s = activity_stats(&per_tenant, 100);
         assert!((s.average_active_ratio - 110.0 / 400.0).abs() < 1e-12);

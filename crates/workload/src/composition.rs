@@ -16,11 +16,11 @@
 //! * Tenants rest on the two weekend days of every week and on two public
 //!   holidays, which are shared among tenants of the same time zone.
 
+use crate::activity::merge_intervals;
 use crate::config::GenerationConfig;
 use crate::library::SessionLibrary;
 use crate::log::{MultiTenantLog, QueryEvent, TenantLog};
 use crate::rng::stream_rng;
-use crate::activity::merge_intervals;
 use crate::templates::Benchmark;
 use crate::tenant::TenantSpec;
 use crate::zipf::ZipfSampler;
@@ -147,7 +147,10 @@ impl<'a> Composer<'a> {
             }
         }
         events.sort_by_key(|e| e.submit);
-        TenantLog { spec: *spec, events }
+        TenantLog {
+            spec: *spec,
+            events,
+        }
     }
 
     /// Composes only the merged busy intervals of one tenant — equivalent to
@@ -213,9 +216,9 @@ mod tests {
         let b = c.tenant_specs();
         assert_eq!(a, b);
         assert!(a.iter().all(|s| cfg.parallelism_levels.contains(&s.nodes)));
-        assert!(a
-            .iter()
-            .all(|s| ActivityScenario::Default.offsets().contains(&s.offset_hours)));
+        assert!(a.iter().all(|s| ActivityScenario::Default
+            .offsets()
+            .contains(&s.offset_hours)));
         // Zipf: the smallest size must be the most common.
         let small = a.iter().filter(|s| s.nodes == 2).count();
         let large = a.iter().filter(|s| s.nodes == 4).count();

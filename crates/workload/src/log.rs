@@ -1,8 +1,8 @@
 //! Log data structures: session logs (Step 1) and multi-tenant activity logs
 //! (Step 2).
 
-use crate::tenant::TenantSpec;
 use crate::templates::Benchmark;
+use crate::tenant::TenantSpec;
 use mppdb_sim::query::{SimTenantId, TemplateId};
 use mppdb_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};

@@ -61,10 +61,8 @@ mod tests {
             log,
         };
 
-        let path = std::env::temp_dir().join(format!(
-            "thrifty-corpus-test-{}.json",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("thrifty-corpus-test-{}.json", std::process::id()));
         corpus.save(&path).unwrap();
         let loaded = SavedCorpus::load(&path).unwrap();
         std::fs::remove_file(&path).ok();

@@ -13,8 +13,9 @@ use rand::SeedableRng;
 /// Uses SplitMix64-style mixing to decorrelate nearby stream indices before
 /// seeding the per-stream generator.
 pub fn stream_rng(seed: u64, stream: u64, substream: u64) -> SmallRng {
-    let mut x = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ substream
-        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut x = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ substream.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     // SplitMix64 finalizer.
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -29,16 +30,31 @@ mod tests {
 
     #[test]
     fn same_inputs_give_same_stream() {
-        let a: Vec<u32> = stream_rng(42, 7, 0).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = stream_rng(42, 7, 0).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = stream_rng(42, 7, 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = stream_rng(42, 7, 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_streams_decorrelate() {
-        let a: Vec<u32> = stream_rng(42, 7, 0).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = stream_rng(42, 8, 0).sample_iter(rand::distributions::Standard).take(8).collect();
-        let c: Vec<u32> = stream_rng(43, 7, 0).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = stream_rng(42, 7, 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = stream_rng(42, 8, 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let c: Vec<u32> = stream_rng(43, 7, 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_ne!(a, b);
         assert_ne!(a, c);
     }

@@ -12,10 +12,10 @@
 //! so intra-tenant concurrency (several users, batches) produces the same
 //! processor-sharing interference a real shared-process MPPDB would show.
 
+use crate::activity::merge_intervals;
 use crate::config::GenerationConfig;
 use crate::log::{LoggedQuery, SessionLog};
 use crate::templates::{catalog, Benchmark};
-use crate::activity::merge_intervals;
 use mppdb_sim::prelude::*;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -111,7 +111,13 @@ pub fn generate_session(
                 // the cluster state is current, then act.
                 let events = cluster.run_until(tu);
                 record(
-                    events, &mut users, &mut owner, &mut queries, &mut busy_raw, rng, cfg,
+                    events,
+                    &mut users,
+                    &mut owner,
+                    &mut queries,
+                    &mut busy_raw,
+                    rng,
+                    cfg,
                 );
                 let user = &mut users[ui];
                 // The completion handler may have rescheduled this user; if
@@ -140,7 +146,13 @@ pub fn generate_session(
                 let t = cluster.peek_next_event_time().expect("checked");
                 let events = cluster.run_until(t);
                 record(
-                    events, &mut users, &mut owner, &mut queries, &mut busy_raw, rng, cfg,
+                    events,
+                    &mut users,
+                    &mut owner,
+                    &mut queries,
+                    &mut busy_raw,
+                    rng,
+                    cfg,
                 );
             }
             // Unreachable with a user action pending (the first arm's guard
@@ -183,7 +195,10 @@ mod tests {
     fn session_produces_queries_within_window() {
         let cfg = small_cfg();
         let s = generate_session(&cfg, 2, Benchmark::TpcDs, &mut stream_rng(1, 0, 0));
-        assert!(!s.queries.is_empty(), "a 3-hour session must contain queries");
+        assert!(
+            !s.queries.is_empty(),
+            "a 3-hour session must contain queries"
+        );
         let window_ms = cfg.session_hours * 3_600_000;
         for q in &s.queries {
             assert!(q.offset.as_ms() < window_ms, "submissions stop at 3 h");

@@ -43,8 +43,9 @@ impl fmt::Display for Benchmark {
     }
 }
 
-/// A named template in a catalog.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+/// A named template in a catalog. (Serialize-only: the catalog is a static
+/// table, never deserialized, and `&'static str` has no owned decoding.)
+#[derive(Clone, Copy, Debug, Serialize)]
 pub struct NamedTemplate {
     /// Human-readable name, e.g. `"TPC-H Q1"`.
     pub name: &'static str,
@@ -61,27 +62,27 @@ pub const TPCDS_ID_BASE: u32 = 200;
 /// Q1 (index 0) is the paper's linear-scale-out example; Q19 (index 18) the
 /// non-linear one.
 const TPCH_PROFILES: [(f64, f64); 22] = [
-    (20.5, 0.00),  // Q1  — scan-heavy aggregation, embarrassingly parallel
+    (20.5, 0.00), // Q1  — scan-heavy aggregation, embarrassingly parallel
     (7.9, 0.10),  // Q2
-    (17.8, 0.05),  // Q3
-    (12.5, 0.05),  // Q4
-    (21.8, 0.08),  // Q5
+    (17.8, 0.05), // Q3
+    (12.5, 0.05), // Q4
+    (21.8, 0.08), // Q5
     (9.9, 0.00),  // Q6
-    (23.1, 0.10),  // Q7
-    (21.1, 0.12),  // Q8
+    (23.1, 0.10), // Q7
+    (21.1, 0.12), // Q8
     (45.5, 0.15), // Q9  — the heaviest join pipeline
-    (18.5, 0.05),  // Q10
+    (18.5, 0.05), // Q10
     (7.3, 0.20),  // Q11
-    (13.9, 0.04),  // Q12
-    (16.5, 0.18),  // Q13
-    (11.2, 0.03),  // Q14
-    (11.9, 0.06),  // Q15
+    (13.9, 0.04), // Q12
+    (16.5, 0.18), // Q13
+    (11.2, 0.03), // Q14
+    (11.9, 0.06), // Q15
     (9.2, 0.22),  // Q16
-    (25.1, 0.08),  // Q17
+    (25.1, 0.08), // Q17
     (33.7, 0.10), // Q18
-    (19.1, 0.30),  // Q19 — non-linear scale-out (Figure 1.1c)
-    (15.8, 0.07),  // Q20
-    (30.4, 0.12),  // Q21
+    (19.1, 0.30), // Q19 — non-linear scale-out (Figure 1.1c)
+    (15.8, 0.07), // Q20
+    (30.4, 0.12), // Q21
     (8.6, 0.25),  // Q22
 ];
 
@@ -111,17 +112,51 @@ const TPCDS_PROFILES: [(f64, f64); 20] = [
 ];
 
 const TPCH_NAMES: [&str; 22] = [
-    "TPC-H Q1", "TPC-H Q2", "TPC-H Q3", "TPC-H Q4", "TPC-H Q5", "TPC-H Q6", "TPC-H Q7",
-    "TPC-H Q8", "TPC-H Q9", "TPC-H Q10", "TPC-H Q11", "TPC-H Q12", "TPC-H Q13", "TPC-H Q14",
-    "TPC-H Q15", "TPC-H Q16", "TPC-H Q17", "TPC-H Q18", "TPC-H Q19", "TPC-H Q20", "TPC-H Q21",
+    "TPC-H Q1",
+    "TPC-H Q2",
+    "TPC-H Q3",
+    "TPC-H Q4",
+    "TPC-H Q5",
+    "TPC-H Q6",
+    "TPC-H Q7",
+    "TPC-H Q8",
+    "TPC-H Q9",
+    "TPC-H Q10",
+    "TPC-H Q11",
+    "TPC-H Q12",
+    "TPC-H Q13",
+    "TPC-H Q14",
+    "TPC-H Q15",
+    "TPC-H Q16",
+    "TPC-H Q17",
+    "TPC-H Q18",
+    "TPC-H Q19",
+    "TPC-H Q20",
+    "TPC-H Q21",
     "TPC-H Q22",
 ];
 
 const TPCDS_NAMES: [&str; 20] = [
-    "TPC-DS Q3", "TPC-DS Q7", "TPC-DS Q19", "TPC-DS Q27", "TPC-DS Q34", "TPC-DS Q42",
-    "TPC-DS Q43", "TPC-DS Q46", "TPC-DS Q52", "TPC-DS Q53", "TPC-DS Q55", "TPC-DS Q59",
-    "TPC-DS Q63", "TPC-DS Q65", "TPC-DS Q68", "TPC-DS Q73", "TPC-DS Q79", "TPC-DS Q89",
-    "TPC-DS Q96", "TPC-DS Q98",
+    "TPC-DS Q3",
+    "TPC-DS Q7",
+    "TPC-DS Q19",
+    "TPC-DS Q27",
+    "TPC-DS Q34",
+    "TPC-DS Q42",
+    "TPC-DS Q43",
+    "TPC-DS Q46",
+    "TPC-DS Q52",
+    "TPC-DS Q53",
+    "TPC-DS Q55",
+    "TPC-DS Q59",
+    "TPC-DS Q63",
+    "TPC-DS Q65",
+    "TPC-DS Q68",
+    "TPC-DS Q73",
+    "TPC-DS Q79",
+    "TPC-DS Q89",
+    "TPC-DS Q96",
+    "TPC-DS Q98",
 ];
 
 /// Returns the full template catalog for a benchmark.
@@ -217,8 +252,7 @@ mod tests {
             for t in catalog(benchmark) {
                 for nodes in [2usize, 4, 8, 16, 32] {
                     let gb = 100.0 * nodes as f64;
-                    let ms =
-                        mppdb_sim::cost::isolated_latency_ms(&t.template, gb, nodes);
+                    let ms = mppdb_sim::cost::isolated_latency_ms(&t.template, gb, nodes);
                     assert!(
                         (300.0..=150_000.0).contains(&ms),
                         "{} at {nodes} nodes: {ms} ms",

@@ -36,7 +36,10 @@ fn main() {
         requested,
         NODE_BUDGET
     );
-    println!("{:>3}  {:>7}  {:>11}  {:>11}  {:>8}  {:>10}", "R", "P", "nodes used", "saved", "groups", "fits?");
+    println!(
+        "{:>3}  {:>7}  {:>11}  {:>11}  {:>8}  {:>10}",
+        "R", "P", "nodes used", "saved", "groups", "fits?"
+    );
     for r in 1..=4u32 {
         for p in [0.99, 0.999, 0.9999] {
             let advisor = DeploymentAdvisor::new(AdvisorConfig {

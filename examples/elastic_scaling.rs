@@ -18,9 +18,7 @@ use thrifty::prelude::*;
 
 fn main() {
     // One tenant-group: six 4-node tenants, A = R = 2.
-    let members: Vec<Tenant> = (0..6)
-        .map(|i| Tenant::new(TenantId(i), 4, 400.0))
-        .collect();
+    let members: Vec<Tenant> = (0..6).map(|i| Tenant::new(TenantId(i), 4, 400.0)).collect();
     let plan = DeploymentPlan {
         groups: vec![TenantGroupPlan::new(members.clone(), 2, 4)],
     };
@@ -83,15 +81,16 @@ fn main() {
     }
     queries.sort_by_key(|q| (q.submit, q.tenant));
 
-    println!("replaying {} queries over {horizon_h} h; tenant T0 goes rogue at hour 8", queries.len());
+    println!(
+        "replaying {} queries over {horizon_h} h; tenant T0 goes rogue at hour 8",
+        queries.len()
+    );
     let report = service.replay(queries).expect("replay succeeds");
 
     for ev in &report.scaling_events {
         println!(
             "elastic scaling: detected at {}, moved {:?}, new MPPDB ready at {:?}",
-            ev.triggered_at,
-            ev.over_active,
-            ev.ready_at,
+            ev.triggered_at, ev.over_active, ev.ready_at,
         );
     }
     println!(

@@ -75,7 +75,10 @@ fn main() {
     // Invoice every tenant.
     let tariff = Tariff::default();
     let mut invoices = Vec::new();
-    println!("{:>7}  {:>5}  {:>11}  {:>8}  {:>12}  {:>8}  {:>9}", "tenant", "nodes", "active", "queries", "subscription", "usage", "total");
+    println!(
+        "{:>7}  {:>5}  {:>11}  {:>8}  {:>12}  {:>8}  {:>9}",
+        "tenant", "nodes", "active", "queries", "subscription", "usage", "total"
+    );
     for (tenant, _) in histories.iter().take(8) {
         let inv = service
             .invoice(tenant.id, &tariff, BILLING_DAYS)
@@ -109,8 +112,14 @@ fn main() {
         BILLING_DAYS,
     );
     println!("revenue:                    {:>10.1} credits", econ.revenue);
-    println!("consolidated cluster cost:  {:>10.1} credits", econ.consolidated_cost);
-    println!("dedicated clusters cost:    {:>10.1} credits", econ.dedicated_cost);
+    println!(
+        "consolidated cluster cost:  {:>10.1} credits",
+        econ.consolidated_cost
+    );
+    println!(
+        "dedicated clusters cost:    {:>10.1} credits",
+        econ.dedicated_cost
+    );
     println!(
         "consolidation gain:         {:>10.1} credits ({:.1}% of dedicated cost)",
         econ.consolidation_gain(),

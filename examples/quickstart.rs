@@ -20,7 +20,11 @@ fn main() {
     let library = SessionLibrary::generate(&cfg);
     let composer = Composer::new(&cfg, &library);
     let specs = composer.tenant_specs();
-    println!("generated {} tenants over a {}-day horizon", specs.len(), cfg.horizon_days);
+    println!(
+        "generated {} tenants over a {}-day horizon",
+        specs.len(),
+        cfg.horizon_days
+    );
 
     // 2. Ask the Deployment Advisor for a plan.
     let histories: Vec<(Tenant, Vec<(u64, u64)>)> = specs

@@ -23,7 +23,10 @@ fn main() {
     step("Q3", router.route(t4)); // T4 still active -> sticky
     step("Q4", router.route(t2)); // T2 still active -> sticky
     step("Q5", router.route(t9)); // last free MPPDB
-    println!("     ({} tenants concurrently active)", router.active_tenants());
+    println!(
+        "     ({} tenants concurrently active)",
+        router.active_tenants()
+    );
 
     // T4 finishes Q1 and Q3; MPPDB0 frees up.
     router.complete(0, t4);

@@ -1,0 +1,337 @@
+//! Offline drop-in shim for the subset of the `rand` 0.8 API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! replaces its handful of registry dependencies with local shims (see
+//! `shims/README.md`). This crate keeps the *API surface* of `rand` 0.8 —
+//! [`Rng`], [`SeedableRng`], [`rngs::SmallRng`],
+//! [`distributions::Standard`] — but the generator itself is xoshiro256++
+//! seeded through SplitMix64 rather than rand's `SmallRng`, so streams are
+//! deterministic per seed but not bit-compatible with upstream `rand`.
+//! Every consumer in this workspace derives all randomness from explicit
+//! seeds, which is what makes the swap safe: determinism is preserved, only
+//! the concrete stream values differ.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform word generation, as in `rand_core`.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generator construction, as in `rand_core`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step: advances `state` and returns the next output word.
+/// Used to expand a 64-bit seed into a full generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The user-facing random-value interface, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from the [`distributions::Standard`]
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples a uniform value from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Converts `self` into an iterator of samples from `distr`.
+    fn sample_iter<T, D>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::DistIter::new(distr, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can produce a single uniform sample (`rand`'s
+/// `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough uniform draw from `[0, span)` via 128-bit widening
+/// multiply (Lemire's method without the rejection step; the bias is
+/// ≤ 2⁻⁶⁴ · span, irrelevant for workload generation).
+fn uniform_u64(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: every word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let u: f64 = {
+                    use distributions::Distribution;
+                    distributions::Standard.sample(rng)
+                };
+                self.start + (u as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++ 1.0 by Blackman
+    /// and Vigna). Fills the role of `rand::rngs::SmallRng`: not
+    /// cryptographic, excellent statistical quality, cheap to seed per
+    /// stream.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // xoshiro256++ must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::RngCore;
+    use std::marker::PhantomData;
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution: full-width for integers,
+    /// `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Iterator over samples of a distribution (`Rng::sample_iter`).
+    #[derive(Debug)]
+    pub struct DistIter<D, R, T> {
+        distr: D,
+        rng: R,
+        _marker: PhantomData<T>,
+    }
+
+    impl<D, R, T> DistIter<D, R, T> {
+        pub(crate) fn new(distr: D, rng: R) -> Self {
+            DistIter {
+                distr,
+                rng,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<D, R, T> Iterator for DistIter<D, R, T>
+    where
+        D: Distribution<T>,
+        R: RngCore,
+    {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            Some(self.distr.sample(&mut self.rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(8);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(1u32..=5);
+            assert!((1..=5).contains(&y));
+            let z = r.gen_range(0usize..4);
+            assert!(z < 4);
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval_and_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+}

@@ -1,0 +1,506 @@
+//! Offline shim for `serde`: a minimal value-tree serialization framework.
+//!
+//! The build environment cannot reach a crate registry, so the workspace
+//! replaces `serde`/`serde_json` with these local shims (see
+//! `shims/README.md`). The design is deliberately much smaller than real
+//! serde: [`Serialize`] lowers a value into a JSON-like [`Value`] tree and
+//! [`Deserialize`] lifts it back. `#[derive(Serialize, Deserialize)]`
+//! (re-exported from the `serde_derive` shim) generates those impls for the
+//! plain structs and enums this workspace defines; `serde_json` (also a
+//! shim) renders and parses the tree as real JSON.
+//!
+//! What is intentionally preserved from real serde:
+//!
+//! * the import surface (`use serde::{Serialize, Deserialize};`),
+//! * the externally-tagged enum representation
+//!   (`"Variant"` / `{"Variant": ...}`),
+//! * JSON round-trip fidelity for every type the workspace persists,
+//!   including exact `f64` round-trips via shortest-representation
+//!   formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::time::Duration;
+
+/// A JSON-like value tree: the interchange format between [`Serialize`],
+/// [`Deserialize`], and the `serde_json` shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers (stored as `i64`).
+    Int(i64),
+    /// Non-negative integers (stored as `u64`).
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects. Insertion-ordered (a `Vec`, not a map) so serialized output
+    /// is deterministic and mirrors field declaration order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization error: a plain message, matching the
+/// fidelity this workspace needs from error reporting.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a required object field (derive-generated code calls this).
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error::msg(format!("missing field `{key}` in {self:?}")))
+    }
+
+    /// Builds the externally-tagged enum representation
+    /// `{"Variant": inner}`.
+    pub fn tagged(tag: &str, inner: Value) -> Value {
+        Value::Object(vec![(tag.to_string(), inner)])
+    }
+
+    /// Splits an externally-tagged enum value into `(tag, inner)`.
+    pub fn tagged_parts(&self) -> Result<(&str, &Value), Error> {
+        match self {
+            Value::Object(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
+            other => Err(Error::msg(format!(
+                "expected single-key variant object, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Interprets the value as an array of exactly `n` elements.
+    pub fn array_of_len(&self, n: usize) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) if items.len() == n => Ok(items),
+            other => Err(Error::msg(format!(
+                "expected array of {n} elements, found {other:?}"
+            ))),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Lowers a value into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to the interchange tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Lifts a value back out of a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the interchange tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, v: &Value) -> Result<T, Error> {
+    Err(Error::msg(format!(
+        "expected {expected}, found {} ({v:?})",
+        v.type_name()
+    )))
+}
+
+// --- integers --------------------------------------------------------------
+
+fn value_as_u64(v: &Value) -> Result<u64, Error> {
+    match v {
+        Value::UInt(x) => Ok(*x),
+        Value::Int(x) if *x >= 0 => Ok(*x as u64),
+        other => type_err("unsigned integer", other),
+    }
+}
+
+fn value_as_i64(v: &Value) -> Result<i64, Error> {
+    match v {
+        Value::Int(x) => Ok(*x),
+        Value::UInt(x) => {
+            i64::try_from(*x).map_err(|_| Error::msg(format!("integer {x} overflows i64")))
+        }
+        other => type_err("integer", other),
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x = value_as_u64(v)?;
+                <$t>::try_from(x)
+                    .map_err(|_| Error::msg(format!(
+                        "integer {x} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::UInt(x as u64) } else { Value::Int(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x = value_as_i64(v)?;
+                <$t>::try_from(x)
+                    .map_err(|_| Error::msg(format!(
+                        "integer {x} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+// --- floats, bool, strings -------------------------------------------------
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(x) => Ok(*x as f64),
+            Value::Int(x) => Ok(*x as f64),
+            other => type_err("number", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("checked")),
+            other => type_err("single-character string", other),
+        }
+    }
+}
+
+// --- generic forwarding impls ---------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys (HashMap iteration order is not
+        // stable across runs).
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize, S: Default + std::hash::BuildHasher> Deserialize for HashMap<String, V, S>
+where
+    String: Eq + Hash,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:literal: $($t:ident . $i:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.array_of_len($n)?;
+                Ok(($($t::from_value(&items[$i])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1: A.0);
+impl_tuple!(2: A.0, B.1);
+impl_tuple!(3: A.0, B.1, C.2);
+impl_tuple!(4: A.0, B.1, C.2, D.3);
+
+// --- std::time::Duration ---------------------------------------------------
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        // Mirrors real serde's representation of Duration.
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::UInt(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs = value_as_u64(v.field("secs")?)?;
+        let nanos = u32::try_from(value_as_u64(v.field("nanos")?)?)
+            .map_err(|_| Error::msg("nanos out of range"))?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for x in [0u64, 1, u64::MAX] {
+            assert_eq!(u64::from_value(&x.to_value()).unwrap(), x);
+        }
+        for x in [i64::MIN, -1, 0, i64::MAX] {
+            assert_eq!(i64::from_value(&x.to_value()).unwrap(), x);
+        }
+        for x in [0.0f64, -1.5, 1e300, 0.1] {
+            assert_eq!(f64::from_value(&x.to_value()).unwrap(), x);
+        }
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = "héllo".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u64, 2u64), (3, 4)];
+        let got: Vec<(u64, u64)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(got, v);
+
+        let o: Option<u32> = None;
+        assert_eq!(o.to_value(), Value::Null);
+        let got: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(got, None);
+
+        let d = Duration::new(3, 250_000_000);
+        assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert!(bool::from_value(&Value::UInt(1)).is_err());
+    }
+}

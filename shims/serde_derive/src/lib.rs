@@ -1,0 +1,449 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! against the workspace's minimal value-tree serde replacement
+//! (`shims/serde`).
+//!
+//! The macros are implemented directly on `proc_macro` token streams — no
+//! `syn`/`quote`, because the build environment cannot reach a registry.
+//! Supported input shapes are exactly what this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit, tuple, and named-field variants (externally tagged,
+//!   like upstream serde's default representation),
+//! * no generic parameters and no `#[serde(...)]` attributes.
+//!
+//! Unsupported shapes fail the build with a clear `compile_error!`, so a
+//! future type that outgrows the shim is caught at compile time rather than
+//! silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// Derives the shim's `serde::Serialize` (a `to_value` implementation).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the shim's `serde::Deserialize` (a `from_value` implementation).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("literal parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips any number of outer attributes (`#[...]`), including doc comments.
+fn skip_attrs(it: &mut TokenIter) {
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        it.next();
+        // `#![...]` (inner) or `#[...]` (outer): consume the optional `!`
+        // and the bracket group.
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '!' {
+                it.next();
+            }
+        }
+        it.next();
+    }
+}
+
+/// Skips a `pub` / `pub(...)` visibility modifier if present.
+fn skip_vis(it: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter, what: &str) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!(
+            "serde shim derive: expected {what}, found {other:?}"
+        )),
+    }
+}
+
+/// Consumes tokens of a type (or discriminant) expression up to and
+/// including the next top-level comma. Tracks `<`/`>` depth so commas
+/// inside generic arguments do not terminate the scan; commas inside
+/// parenthesized/bracketed groups are invisible because groups are single
+/// token trees.
+fn skip_past_comma(it: &mut TokenIter) {
+    let mut angle: i32 = 0;
+    for tok in it.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses the contents of a named-field braces group into field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        if it.peek().is_none() {
+            return Ok(fields);
+        }
+        skip_vis(&mut it);
+        let name = expect_ident(&mut it, "a field name")?;
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_past_comma(&mut it);
+        fields.push(name);
+    }
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant parenthesis group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs(&mut it);
+        if it.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_past_comma(&mut it);
+    }
+}
+
+/// Parses the contents of an enum's braces group into variants.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        if it.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = expect_ident(&mut it, "a variant name")?;
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                it.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        skip_past_comma(&mut it);
+        variants.push(Variant { name, shape });
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_vis(&mut it);
+    let kw = expect_ident(&mut it, "`struct` or `enum`")?;
+    if kw != "struct" && kw != "enum" {
+        return Err(format!(
+            "serde shim derive: only structs and enums are supported, found `{kw}`"
+        ));
+    }
+    let name = expect_ident(&mut it, "the type name")?;
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported; \
+                 write a manual impl or extend shims/serde_derive"
+            ));
+        }
+    }
+    let kind = if kw == "enum" {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected enum body for `{name}`, found {other:?}"
+                ))
+            }
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected struct body for `{name}`, found {other:?}"
+                ))
+            }
+        }
+    };
+    Ok(Item { name, kind })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut pairs = String::new();
+            for f in fields {
+                let _ = write!(
+                    pairs,
+                    "(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                let _ = write!(items, "::serde::Serialize::to_value(&self.{i}),");
+            }
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            arms,
+                            "Self::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from({vn:?})),"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "Self::{vn}(__f0) => ::serde::Value::tagged({vn:?}, \
+                             ::serde::Serialize::to_value(__f0)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut items = String::new();
+                        for b in &binds {
+                            let _ = write!(items, "::serde::Serialize::to_value({b}),");
+                        }
+                        let _ = write!(
+                            arms,
+                            "Self::{vn}({}) => ::serde::Value::tagged({vn:?}, \
+                             ::serde::Value::Array(::std::vec![{items}])),",
+                            binds.join(",")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let mut pairs = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                pairs,
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        let _ = write!(
+                            arms,
+                            "Self::{vn} {{ {} }} => ::serde::Value::tagged({vn:?}, \
+                             ::serde::Value::Object(::std::vec![{pairs}])),",
+                            fields.join(",")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let _ = write!(
+                    inits,
+                    "{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?,"
+                );
+            }
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Kind::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Kind::TupleStruct(n) => {
+            let mut args = String::new();
+            for i in 0..*n {
+                let _ = write!(args, "::serde::Deserialize::from_value(&__items[{i}])?,");
+            }
+            format!(
+                "{{ let __items = __v.array_of_len({n})?; \
+                 ::std::result::Result::Ok(Self({args})) }}"
+            )
+        }
+        Kind::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "{vn:?} => ::std::result::Result::Ok(Self::{vn}),"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = write!(
+                            data_arms,
+                            "{vn:?} => ::std::result::Result::Ok(Self::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let mut args = String::new();
+                        for i in 0..*n {
+                            let _ =
+                                write!(args, "::serde::Deserialize::from_value(&__items[{i}])?,");
+                        }
+                        let _ = write!(
+                            data_arms,
+                            "{vn:?} => {{ let __items = __inner.array_of_len({n})?; \
+                             ::std::result::Result::Ok(Self::{vn}({args})) }},"
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                inits,
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __inner.field({f:?})?)?,"
+                            );
+                        }
+                        let _ = write!(
+                            data_arms,
+                            "{vn:?} => ::std::result::Result::Ok(\
+                             Self::{vn} {{ {inits} }}),"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     __tagged => {{\n\
+                         let (__tag, __inner) = __tagged.tagged_parts()?;\n\
+                         match __tag {{\n\
+                             {data_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -70,7 +70,11 @@ fn the_whole_stack_is_bit_reproducible() {
     assert_eq!(a.0, b.0, "plan node counts must match");
     assert_eq!(a.1, b.1, "record counts must match");
     assert_eq!(a.2, b.2, "every record must match bit for bit");
-    assert!(a.1 > 100, "the replay must be substantial ({} records)", a.1);
+    assert!(
+        a.1 > 100,
+        "the replay must be substantial ({} records)",
+        a.1
+    );
 }
 
 #[test]
@@ -78,4 +82,59 @@ fn different_seeds_differ() {
     let a = build_and_replay(5);
     let b = build_and_replay(6);
     assert_ne!(a.2, b.2);
+}
+
+/// Runs the bench pipeline (histories → FFD/2-step comparison) at a given
+/// thread count and returns a byte-exact serialization of everything except
+/// wall-clock time. Both runs happen inside one `#[test]` because the
+/// thread override is process-global.
+#[test]
+fn parallel_pipeline_is_byte_identical_to_serial() {
+    use thrifty_bench::parallel;
+    use thrifty_bench::pipeline::{compare_algorithms, defaults, Harness};
+
+    let run = |threads: usize| -> (String, String, String) {
+        parallel::set_thread_override(Some(threads));
+        let mut cfg = GenerationConfig::small(11, 80);
+        cfg.parallelism_levels = vec![2, 4];
+        cfg.session_trials = 4;
+        let harness = Harness::from_config(cfg);
+        let corpus = harness.default_histories();
+        let point = compare_algorithms(
+            &corpus,
+            "determinism",
+            defaults::EPOCH_MS,
+            2,
+            defaults::SLA_P,
+        );
+        parallel::set_thread_override(None);
+        // `runtime` is wall clock — the one field allowed to differ.
+        let strip = |report: &ConsolidationReport| {
+            let mut r = report.clone();
+            r.runtime = std::time::Duration::ZERO;
+            serde_json::to_string(&r).unwrap()
+        };
+        (
+            serde_json::to_string(&corpus.histories).unwrap(),
+            strip(&point.ffd),
+            strip(&point.two_step),
+        )
+    };
+
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial.0, parallel.0,
+        "tenant histories must be byte-identical at any thread count"
+    );
+    assert_eq!(serial.1, parallel.1, "FFD reports must be byte-identical");
+    assert_eq!(
+        serial.2, parallel.2,
+        "2-step reports must be byte-identical"
+    );
+    assert!(
+        serial.0.len() > 1000,
+        "the corpus must be substantial ({} bytes)",
+        serial.0.len()
+    );
 }

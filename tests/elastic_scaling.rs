@@ -17,10 +17,7 @@ fn baseline_ms() -> f64 {
     isolated_latency_ms(&template(), DATA_GB, NODES as usize)
 }
 
-fn scenario(
-    elastic: bool,
-    history: bool,
-) -> (ThriftyService, Vec<IncomingQuery>) {
+fn scenario(elastic: bool, history: bool) -> (ThriftyService, Vec<IncomingQuery>) {
     let members: Vec<Tenant> = (0..6)
         .map(|i| Tenant::new(TenantId(i), NODES, DATA_GB))
         .collect();
@@ -84,7 +81,11 @@ fn over_active_tenant_is_detected_and_relocated() {
     let report = service.replay(queries).unwrap();
     assert!(!report.scaling_events.is_empty(), "scaling must trigger");
     let ev = &report.scaling_events[0];
-    assert_eq!(ev.over_active, vec![TenantId(0)], "the hammer is the deviant");
+    assert_eq!(
+        ev.over_active,
+        vec![TenantId(0)],
+        "the hammer is the deviant"
+    );
     assert!(ev.triggered_at >= SimTime::from_secs(8 * 3600));
     let ready = ev.ready_at.expect("the scale-out MPPDB must come up");
     // Bulk load of one 400 GB tenant per the Table 5.1 model: ~5.7 h plus

@@ -118,7 +118,10 @@ fn different_seeds_give_different_corpora_but_same_regime() {
     };
     let (a, b) = (eff(1), eff(2));
     assert_ne!(a, b, "different seeds should not coincide exactly");
-    assert!((a - b).abs() < 0.2, "seeds {a:.3} vs {b:.3} diverge too much");
+    assert!(
+        (a - b).abs() < 0.2,
+        "seeds {a:.3} vs {b:.3} diverge too much"
+    );
 }
 
 #[test]

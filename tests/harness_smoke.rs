@@ -20,7 +20,11 @@ fn every_experiment_runs_on_a_tiny_corpus() {
             "experiment {id} produced no tables"
         );
         for t in &result.tables {
-            assert!(!t.rows.is_empty(), "experiment {id}: empty table {}", t.title);
+            assert!(
+                !t.rows.is_empty(),
+                "experiment {id}: empty table {}",
+                t.title
+            );
         }
         // Rendering must not panic and must carry the id.
         let rendered = result.to_string();

@@ -66,16 +66,19 @@ fn invoices_reflect_metered_usage() {
 #[test]
 fn node_failure_degrades_then_recovers_transparently() {
     let mut s = small_service(2);
-    let victim = s.cluster().instance(s.group_instances(0).unwrap()[0]).unwrap().nodes()[0];
+    let victim = s
+        .cluster()
+        .instance(s.group_instances(0).unwrap()[0])
+        .unwrap()
+        .nodes()[0];
     // Fail a node of MPPDB_0 at t = 50 s; a spare exists, so parallelism is
     // restored after the single-node start-up (~5.4 min in the Table 5.1
     // model).
-    s.inject_node_failure(victim, SimTime::from_secs(50)).unwrap();
+    s.inject_node_failure(victim, SimTime::from_secs(50))
+        .unwrap();
     // A query right after the failure runs on 1 node instead of 2: 2x the
     // baseline, an SLA violation the cluster absorbs without going down.
-    let report = s
-        .replay([q(0, 0, 2), q(0, 60, 2), q(0, 2_000, 2)])
-        .unwrap();
+    let report = s.replay([q(0, 0, 2), q(0, 60, 2), q(0, 2_000, 2)]).unwrap();
     assert_eq!(report.summary.total, 3, "no query is lost to the failure");
     let by_time: Vec<bool> = report.records.iter().map(|r| r.met).collect();
     assert!(by_time[0], "before the failure: met");

@@ -1,60 +1,92 @@
-//! Property-based tests on the core data structures and invariants,
-//! spanning all three crates.
+//! Randomized invariant tests on the core data structures, spanning all
+//! three crates.
+//!
+//! These were originally `proptest` properties; the offline build has no
+//! proptest (see shims/README.md), so each property is exercised over a
+//! fixed number of deterministically seeded random cases instead. The
+//! seeds are per-test constants, so failures are exactly reproducible.
 
 use mppdb_sim::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use thrifty::prelude::*;
 use thrifty_workload::activity::{epochs_from_intervals, merge_intervals};
 
-/// Arbitrary raw (possibly overlapping, unsorted) intervals.
-fn raw_intervals() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    prop::collection::vec((0u64..5_000, 0u64..2_000), 0..40)
-        .prop_map(|v| v.into_iter().map(|(s, len)| (s, s + len)).collect())
+/// Cases per property; each case draws fresh random inputs.
+const CASES: usize = 64;
+
+/// Arbitrary raw (possibly overlapping, unsorted, possibly empty)
+/// intervals, mirroring the old proptest strategy.
+fn raw_intervals(rng: &mut SmallRng) -> Vec<(u64, u64)> {
+    let n = rng.gen_range(0usize..40);
+    (0..n)
+        .map(|_| {
+            let s = rng.gen_range(0u64..5_000);
+            let len = rng.gen_range(0u64..2_000);
+            (s, s + len)
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn merged_intervals_are_sorted_disjoint_and_cover_the_same_points(raw in raw_intervals()) {
+/// A random set of active epoch indices below `bound`.
+fn epoch_set(rng: &mut SmallRng, bound: u32, max_len: usize) -> Vec<u32> {
+    let n = rng.gen_range(0usize..max_len);
+    let mut set: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..bound)).collect();
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+#[test]
+fn merged_intervals_are_sorted_disjoint_and_cover_the_same_points() {
+    let mut rng = SmallRng::seed_from_u64(0x1001);
+    for case in 0..CASES {
+        let raw = raw_intervals(&mut rng);
         let merged = merge_intervals(raw.clone());
         // Sorted and strictly disjoint.
         for w in merged.windows(2) {
-            prop_assert!(w[0].1 < w[1].0);
+            assert!(w[0].1 < w[1].0, "case {case}: overlap in {merged:?}");
         }
         for &(s, e) in &merged {
-            prop_assert!(s < e);
+            assert!(s < e, "case {case}: empty interval in {merged:?}");
         }
         // Point-coverage equivalence on a sample of probes.
         for probe in (0..7_100).step_by(97) {
             let in_raw = raw.iter().any(|&(s, e)| s <= probe && probe < e);
             let in_merged = merged.iter().any(|&(s, e)| s <= probe && probe < e);
-            prop_assert_eq!(in_raw, in_merged, "probe {}", probe);
+            assert_eq!(in_raw, in_merged, "case {case}: probe {probe}");
         }
     }
+}
 
-    #[test]
-    fn activity_vector_agrees_with_scalar_epochization(
-        raw in raw_intervals(),
-        epoch_ms in 1u64..500,
-    ) {
+#[test]
+fn activity_vector_agrees_with_scalar_epochization() {
+    let mut rng = SmallRng::seed_from_u64(0x1002);
+    for case in 0..CASES {
+        let raw = raw_intervals(&mut rng);
+        let epoch_ms = rng.gen_range(1u64..500);
         let horizon = 8_000u64;
         let merged = merge_intervals(raw);
         let epochs = epochs_from_intervals(&merged, epoch_ms, horizon);
         let cfg = EpochConfig::new(epoch_ms, horizon);
         let v = ActivityVector::from_intervals(&merged, cfg);
         let from_vector: Vec<u32> = v.iter_epochs().collect();
-        prop_assert_eq!(epochs, from_vector);
-        prop_assert!(v.active_epochs() <= v.d());
+        assert_eq!(epochs, from_vector, "case {case}: epoch_ms {epoch_ms}");
+        assert!(v.active_epochs() <= v.d(), "case {case}");
     }
+}
 
-    #[test]
-    fn histogram_ttp_matches_dense_recomputation(
-        sets in prop::collection::vec(prop::collection::btree_set(0u32..300, 0..60), 1..8),
-        r in 0u32..5,
-    ) {
+#[test]
+fn histogram_ttp_matches_dense_recomputation() {
+    let mut rng = SmallRng::seed_from_u64(0x1003);
+    for case in 0..CASES {
         let d = 300;
+        let n_sets = rng.gen_range(1usize..8);
+        let sets: Vec<Vec<u32>> = (0..n_sets).map(|_| epoch_set(&mut rng, d, 60)).collect();
+        let r = rng.gen_range(0u32..5);
         let vectors: Vec<ActivityVector> = sets
             .iter()
-            .map(|s| ActivityVector::from_epochs(s.iter().copied().collect(), d))
+            .map(|s| ActivityVector::from_epochs(s.clone(), d))
             .collect();
         let mut hist = ActiveCountHistogram::new(d);
         for v in &vectors {
@@ -62,53 +94,60 @@ proptest! {
         }
         let refs: Vec<&ActivityVector> = vectors.iter().collect();
         let dense = ActiveCountHistogram::ttp_dense(&refs, d, r);
-        prop_assert!((hist.ttp(r) - dense).abs() < 1e-12);
+        assert!(
+            (hist.ttp(r) - dense).abs() < 1e-12,
+            "case {case}: histogram {} vs dense {dense}",
+            hist.ttp(r)
+        );
     }
+}
 
-    #[test]
-    fn two_step_always_yields_valid_partitions(
-        sets in prop::collection::vec(prop::collection::btree_set(0u32..120, 0..40), 1..16),
-        nodes in prop::collection::vec(1u32..16, 16),
-        r in 1u32..4,
-        p_pct in 900u32..=1000,
-    ) {
+#[test]
+fn two_step_always_yields_valid_partitions() {
+    let mut rng = SmallRng::seed_from_u64(0x1004);
+    for case in 0..CASES {
         let d = 120;
-        let n = sets.len();
+        let n = rng.gen_range(1usize..16);
+        let sets: Vec<Vec<u32>> = (0..n).map(|_| epoch_set(&mut rng, d, 40)).collect();
+        let nodes: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..16)).collect();
+        let r = rng.gen_range(1u32..4);
+        let p = f64::from(rng.gen_range(900u32..=1000)) / 1000.0;
         let tenants: Vec<Tenant> = (0..n)
             .map(|i| Tenant::new(TenantId(i as u32), nodes[i], 100.0 * f64::from(nodes[i])))
             .collect();
         let activities: Vec<ActivityVector> = sets
             .iter()
-            .map(|s| ActivityVector::from_epochs(s.iter().copied().collect(), d))
+            .map(|s| ActivityVector::from_epochs(s.clone(), d))
             .collect();
-        let problem = GroupingProblem::new(tenants, activities, r, f64::from(p_pct) / 1000.0);
+        let problem = GroupingProblem::new(tenants, activities, r, p);
         let two_step = two_step_grouping(&problem);
-        prop_assert!(two_step.validate(&problem).is_ok());
+        assert!(two_step.validate(&problem).is_ok(), "case {case}");
         let ffd = ffd_grouping(&problem);
-        prop_assert!(ffd.validate(&problem).is_ok());
+        assert!(ffd.validate(&problem).is_ok(), "case {case}");
         // Node accounting is consistent.
-        prop_assert!(two_step.nodes_used(&problem) >= u64::from(r));
-        prop_assert!(two_step.effectiveness(&problem) <= 1.0);
+        assert!(two_step.nodes_used(&problem) >= u64::from(r), "case {case}");
+        assert!(two_step.effectiveness(&problem) <= 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn processor_sharing_conserves_work(
-        works in prop::collection::vec(1u64..60, 1..10),
-        stagger_s in prop::collection::vec(0u64..30, 10),
-    ) {
+#[test]
+fn processor_sharing_conserves_work() {
+    let mut rng = SmallRng::seed_from_u64(0x1005);
+    for case in 0..CASES {
         // Total wall time until the last completion equals total dedicated
         // work when the instance is never idle (single tenant, all queries
         // overlapping) — PS is work-conserving.
+        let n = rng.gen_range(1usize..10);
+        let works: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..60)).collect();
         let mut cluster = Cluster::new(ClusterConfig::with_instant_provisioning(1));
         let tenant = SimTenantId(0);
         let inst = cluster.provision_instance(1, &[(tenant, 1.0)]).unwrap();
-        // Submit everything at t=0 (ignore stagger for the conservation
-        // check; stagger is exercised in the latency-ordering check below).
-        let _ = stagger_s;
         let mut total_ms = 0u64;
         for &w in &works {
             let template = QueryTemplate::new(TemplateId(1), (w * 1000) as f64, 0.0);
-            cluster.submit(inst, QuerySpec::new(template, 1.0, tenant)).unwrap();
+            cluster
+                .submit(inst, QuerySpec::new(template, 1.0, tenant))
+                .unwrap();
             total_ms += w * 1000;
         }
         let events = cluster.run_to_quiescence();
@@ -121,16 +160,22 @@ proptest! {
             .max()
             .unwrap();
         // Millisecond rounding of completion checks can add a few ticks.
-        prop_assert!(last_finish >= total_ms);
-        prop_assert!(last_finish <= total_ms + works.len() as u64 * 2);
+        assert!(last_finish >= total_ms, "case {case}");
+        assert!(
+            last_finish <= total_ms + works.len() as u64 * 2,
+            "case {case}: {last_finish} vs {total_ms}"
+        );
     }
+}
 
-    #[test]
-    fn shorter_queries_finish_no_later_under_ps(
-        works in prop::collection::vec(1u64..40, 2..8),
-    ) {
+#[test]
+fn shorter_queries_finish_no_later_under_ps() {
+    let mut rng = SmallRng::seed_from_u64(0x1006);
+    for case in 0..CASES {
         // Under processor sharing with simultaneous arrival, completion
         // order follows remaining-work order.
+        let n = rng.gen_range(2usize..8);
+        let works: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..40)).collect();
         let mut cluster = Cluster::new(ClusterConfig::with_instant_provisioning(1));
         let tenant = SimTenantId(0);
         let inst = cluster.provision_instance(1, &[(tenant, 1.0)]).unwrap();
@@ -155,24 +200,27 @@ proptest! {
             .collect();
         finishes.sort();
         for pair in finishes.windows(2) {
-            prop_assert!(pair[0].1 <= pair[1].1, "{finishes:?}");
+            assert!(pair[0].1 <= pair[1].1, "case {case}: {finishes:?}");
         }
     }
+}
 
-    #[test]
-    fn router_never_loses_queries(
-        ops in prop::collection::vec((0u32..6, prop::bool::ANY), 1..200),
-        a in 1usize..5,
-    ) {
+#[test]
+fn router_never_loses_queries() {
+    let mut rng = SmallRng::seed_from_u64(0x1007);
+    for case in 0..CASES {
         // Random interleaving of route/complete operations; the router's
         // bookkeeping must stay balanced.
+        let a = rng.gen_range(1usize..5);
+        let n_ops = rng.gen_range(1usize..200);
         let mut router = QueryRouter::new(a);
         let mut running: Vec<(usize, TenantId)> = Vec::new();
-        for (t, is_route) in ops {
-            let tenant = TenantId(t);
+        for _ in 0..n_ops {
+            let tenant = TenantId(rng.gen_range(0u32..6));
+            let is_route = rng.gen_bool(0.5);
             if is_route || running.is_empty() {
                 let route = router.route(tenant);
-                prop_assert!(route.mppdb < a);
+                assert!(route.mppdb < a, "case {case}");
                 running.push((route.mppdb, tenant));
             } else {
                 let (mppdb, tenant) = running.swap_remove(0);
@@ -180,28 +228,30 @@ proptest! {
             }
             let distinct: std::collections::BTreeSet<u32> =
                 running.iter().map(|(_, t)| t.0).collect();
-            prop_assert_eq!(router.active_tenants(), distinct.len());
+            assert_eq!(router.active_tenants(), distinct.len(), "case {case}");
         }
         for (mppdb, tenant) in running.drain(..) {
             router.complete(mppdb, tenant);
         }
-        prop_assert_eq!(router.active_tenants(), 0);
+        assert_eq!(router.active_tenants(), 0, "case {case}");
         for j in 0..a {
-            prop_assert!(router.is_free(j));
+            assert!(router.is_free(j), "case {case}: mppdb {j} not free");
         }
     }
+}
 
-    #[test]
-    fn monitor_rt_ttp_stays_in_unit_range(
-        ops in prop::collection::vec((0u32..5, 1u64..1000), 1..120),
-        r in 0u32..4,
-    ) {
+#[test]
+fn monitor_rt_ttp_stays_in_unit_range() {
+    let mut rng = SmallRng::seed_from_u64(0x1008);
+    for case in 0..CASES {
+        let r = rng.gen_range(0u32..4);
+        let n_ops = rng.gen_range(1usize..120);
         let mut monitor = GroupActivityMonitor::new(r, 50_000, 0);
         let mut now = 0u64;
         let mut running: Vec<TenantId> = Vec::new();
-        for (t, dt) in ops {
-            now += dt;
-            let tenant = TenantId(t);
+        for _ in 0..n_ops {
+            now += rng.gen_range(1u64..1000);
+            let tenant = TenantId(rng.gen_range(0u32..5));
             // Alternate starts and finishes, keeping the books balanced.
             if running.len() < 3 || !running.contains(&tenant) {
                 monitor.on_query_start(tenant, now);
@@ -212,7 +262,10 @@ proptest! {
                 monitor.on_query_finish(tenant, now);
             }
             let ttp = monitor.rt_ttp(now);
-            prop_assert!((0.0..=1.0).contains(&ttp), "ttp {} at {}", ttp, now);
+            assert!(
+                (0.0..=1.0).contains(&ttp),
+                "case {case}: ttp {ttp} at {now}"
+            );
         }
     }
 }

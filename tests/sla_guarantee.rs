@@ -38,11 +38,7 @@ fn q(t: u32, s: u64, template: QueryTemplate, nodes: u32) -> IncomingQuery {
         tenant: TenantId(t),
         submit: SimTime::from_secs(s),
         template: template.id,
-        baseline: SimDuration::from_ms_f64(isolated_latency_ms(
-            &template,
-            data_gb,
-            nodes as usize,
-        )),
+        baseline: SimDuration::from_ms_f64(isolated_latency_ms(&template, data_gb, nodes as usize)),
     }
 }
 
@@ -106,7 +102,10 @@ fn concurrent_batches_of_one_tenant_share_one_mppdb() {
         .filter(|r| r.tenant == TenantId(1))
         .collect();
     assert_eq!(t1.len(), 1);
-    assert!(t1[0].met, "the other tenant must be unaffected by the batch");
+    assert!(
+        t1[0].met,
+        "the other tenant must be unaffected by the batch"
+    );
     // The batch queries shared their MPPDB 3-ways.
     let t0_worst = report
         .records
@@ -129,10 +128,16 @@ fn the_a_plus_first_tenant_overflows_and_may_violate() {
     let report = s.replay(queries).unwrap();
     assert_eq!(report.summary.total, 3);
     assert!(
-        report.records.iter().any(|r| r.route == RouteKind::Overflow),
+        report
+            .records
+            .iter()
+            .any(|r| r.route == RouteKind::Overflow),
         "the third tenant must take the overflow path"
     );
-    assert!(report.summary.met < 3, "overflow concurrency must cost someone");
+    assert!(
+        report.summary.met < 3,
+        "overflow concurrency must cost someone"
+    );
 }
 
 #[test]
@@ -146,7 +151,9 @@ fn a_bigger_tuning_mppdb_absorbs_overflow_for_linear_queries() {
     let u = recommend_tuning_nodes(&linear, 200.0, 2, 2, 1.0, 64).unwrap();
     assert_eq!(u, 4);
     group.set_tuning_nodes(u);
-    let plan = DeploymentPlan { groups: vec![group] };
+    let plan = DeploymentPlan {
+        groups: vec![group],
+    };
     let mut s = ThriftyService::deploy(
         &plan,
         12,
@@ -161,11 +168,7 @@ fn a_bigger_tuning_mppdb_absorbs_overflow_for_linear_queries() {
     // (big) tuning MPPDB, tenant 1 the other; tenant 2 overflows onto
     // MPPDB_0 — which now has 4 nodes, so both queries there still finish
     // within the 2-node baseline.
-    let queries = vec![
-        q(0, 0, linear, 2),
-        q(1, 1, linear, 2),
-        q(2, 2, linear, 2),
-    ];
+    let queries = vec![q(0, 0, linear, 2), q(1, 1, linear, 2), q(2, 2, linear, 2)];
     let report = s.replay(queries).unwrap();
     assert_eq!(
         report.summary.met, 3,

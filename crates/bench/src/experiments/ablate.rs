@@ -111,6 +111,7 @@ pub fn ablate(harness: &Harness) -> ExperimentResult {
         context: "why the paper's design choices matter".into(),
         tables: vec![t, f],
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 

@@ -83,6 +83,7 @@ pub fn fig_1_1a() -> ExperimentResult {
                 .into(),
         tables: vec![t],
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 
@@ -125,6 +126,7 @@ pub fn fig_1_1b() -> ExperimentResult {
             .into(),
         tables: vec![t],
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 
@@ -149,6 +151,7 @@ pub fn fig_1_1c() -> ExperimentResult {
             .into(),
         tables: vec![t],
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 

@@ -68,6 +68,7 @@ pub fn fig_5_3() -> ExperimentResult {
         context: "the worked example of Chapter 5: TG1 = {T3,T2,T5,T4,T6}, T1 alone".into(),
         tables: vec![t, reject],
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 

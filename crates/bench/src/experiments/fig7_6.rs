@@ -78,6 +78,7 @@ pub fn fig_7_6(harness: &Harness) -> ExperimentResult {
             .into(),
         tables: vec![a, b],
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 

@@ -157,18 +157,16 @@ pub fn build_scenario(harness: &Harness) -> Fig77Scenario {
 /// Replays the scenario with elastic scaling on or off.
 pub fn run_scenario(scenario: &Fig77Scenario, elastic_scaling: bool) -> Fig77Run {
     let total_nodes = (scenario.plan.nodes_used() as usize) + 2 * 4;
-    let config = ServiceConfig {
-        sla_p: defaults::SLA_P,
-        elastic_scaling,
-        monitor_window_ms: 24 * 3_600_000,
-        scaling_epoch_ms: defaults::EPOCH_MS,
-        scaling_check_interval_ms: 300_000,
-        trace: Some(TraceConfig {
-            groups: vec![0],
-            interval_ms: 1_800_000, // 30 min samples
-        }),
-        ..ServiceConfig::default()
-    };
+    let config = ServiceConfig::builder()
+        .sla_p(defaults::SLA_P)
+        .elastic_scaling(elastic_scaling)
+        .monitor_window_ms(24 * 3_600_000)
+        .scaling_epoch_ms(defaults::EPOCH_MS)
+        .scaling_check_interval_ms(300_000)
+        .trace(TraceConfig::new(vec![0], 1_800_000)) // 30 min samples
+        // Bounded event sample for the JSON artefact; counters stay exact.
+        .telemetry(TelemetryConfig::default().with_event_capacity(5_000))
+        .build();
     let mut service = ThriftyService::deploy(
         &scenario.plan,
         total_nodes,
@@ -442,6 +440,9 @@ pub fn fig_7_7(harness: &Harness) -> ExperimentResult {
         ),
         tables: vec![ttp, spark, perf, events],
         timings: Vec::new(),
+        // The scaling-ON run's telemetry carries the scaling/migration
+        // event stream the figure is about.
+        telemetry: Some(on.report.telemetry.clone()),
     }
 }
 

@@ -74,6 +74,7 @@ pub fn fig_7_1(harness: &Harness) -> ExperimentResult {
         ),
         tables: standard_tables("7.1", "epoch E", &points),
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 
@@ -95,6 +96,7 @@ pub fn fig_7_2(harness: &Harness) -> ExperimentResult {
         context: "tenant-count sweep at default epoch/R/P".into(),
         tables: standard_tables("7.2", "tenants T", &points),
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 
@@ -116,6 +118,7 @@ pub fn fig_7_3(harness: &Harness) -> ExperimentResult {
         context: "tenant-size skew sweep (Zipf θ; larger = more small tenants)".into(),
         tables: standard_tables("7.3", "θ", &points),
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 
@@ -138,6 +141,7 @@ pub fn fig_7_4(harness: &Harness) -> ExperimentResult {
             .into(),
         tables: standard_tables("7.4", "R", &points),
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 
@@ -159,6 +163,7 @@ pub fn fig_7_5(harness: &Harness) -> ExperimentResult {
         context: "SLA-guarantee sweep: a looser P packs more tenants per group".into(),
         tables: standard_tables("7.5", "P", &points),
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 

@@ -44,6 +44,7 @@ pub fn tab_5_1() -> ExperimentResult {
             .into(),
         tables: vec![t],
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 

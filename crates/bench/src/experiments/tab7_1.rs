@@ -29,6 +29,7 @@ pub fn tab_7_1() -> ExperimentResult {
         context: "the sweep grid driven by `experiments fig7.1 .. fig7.5` (* = default)".into(),
         tables: vec![t],
         timings: Vec::new(),
+        telemetry: None,
     }
 }
 

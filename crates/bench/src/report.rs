@@ -7,6 +7,7 @@
 use crate::parallel::StageTiming;
 use serde::Serialize;
 use std::fmt;
+use thrifty::telemetry::TelemetrySnapshot;
 
 /// One table of an experiment's output.
 #[derive(Clone, Debug, Serialize)]
@@ -84,6 +85,10 @@ pub struct ExperimentResult {
     /// [`crate::experiments::run`] and persisted in `BENCH_<id>.json` so a
     /// `THRIFTY_THREADS=1` baseline can be compared against a parallel run.
     pub timings: Vec<StageTiming>,
+    /// Telemetry recorded by the service replay backing this experiment,
+    /// if one ran. Persisted in `BENCH_<id>.json` so the perf trajectory
+    /// gains utilization / overflow / queue-depth columns.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl fmt::Display for ExperimentResult {
@@ -93,12 +98,59 @@ impl fmt::Display for ExperimentResult {
             writeln!(f)?;
             write!(f, "{t}")?;
         }
+        if let Some(snap) = &self.telemetry {
+            if snap.enabled {
+                writeln!(f)?;
+                write!(f, "{}", telemetry_counters_table(snap))?;
+                writeln!(f)?;
+                write!(f, "{}", telemetry_instances_table(snap))?;
+            }
+        }
         if !self.timings.is_empty() {
             writeln!(f)?;
             write!(f, "{}", timing_table(&self.timings))?;
         }
         Ok(())
     }
+}
+
+/// Renders the counters of a [`TelemetrySnapshot`] as a table.
+pub fn telemetry_counters_table(snap: &TelemetrySnapshot) -> Table {
+    let mut t = Table::new("Service telemetry — counters", &["counter", "value"]);
+    for (name, value) in &snap.counters {
+        t.push_row(vec![name.clone(), value.to_string()]);
+    }
+    if snap.dropped_events > 0 {
+        t.push_row(vec![
+            "(dropped events)".into(),
+            snap.dropped_events.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders per-instance utilization of a [`TelemetrySnapshot`] as a table.
+pub fn telemetry_instances_table(snap: &TelemetrySnapshot) -> Table {
+    let mut t = Table::new(
+        "Service telemetry — per-instance utilization",
+        &[
+            "instance", "nodes", "util", "avg q", "max q", "subm", "done", "canc", "slowdown",
+        ],
+    );
+    for i in &snap.instances {
+        t.push_row(vec![
+            i.instance.to_string(),
+            i.nodes.to_string(),
+            pct(i.utilization),
+            num(i.avg_concurrency, 2),
+            i.max_concurrency.to_string(),
+            i.submitted.to_string(),
+            i.completed.to_string(),
+            i.cancelled.to_string(),
+            format!("{:.2}x", i.mean_slowdown),
+        ]);
+    }
+    t
 }
 
 /// Renders stage timings as a standard [`Table`] (also used by the

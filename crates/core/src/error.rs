@@ -4,7 +4,14 @@ use mppdb_sim::error::SimError;
 use std::fmt;
 
 /// Errors produced by deployment and service operations.
+///
+/// `#[non_exhaustive]`: new failure modes may be added; always keep a
+/// wildcard arm when matching. Implements [`std::error::Error`] with a
+/// [`source`](std::error::Error::source) chain through the
+/// [`ThriftyError::Sim`] variant, so callers can propagate with `?` into
+/// a `Box<dyn Error>` and still reach the simulator cause.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ThriftyError {
     /// The deployment plan needs more nodes than the cluster owns.
     ClusterTooSmall {
@@ -66,3 +73,27 @@ impl From<SimError> for ThriftyError {
 
 /// Convenience result alias.
 pub type ThriftyResult<T> = Result<T, ThriftyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn source_chain_reaches_the_simulator_cause() {
+        let err = ThriftyError::from(SimError::TimeInPast);
+        let source = err.source().expect("Sim variant must expose a source");
+        assert_eq!(source.to_string(), SimError::TimeInPast.to_string());
+        assert!(ThriftyError::EmptyPlan.source().is_none());
+    }
+
+    #[test]
+    fn question_mark_works_with_box_dyn_error() {
+        fn fails() -> Result<(), Box<dyn Error>> {
+            Err(ThriftyError::NotDeployed)?;
+            Ok(())
+        }
+        let err = fails().unwrap_err();
+        assert_eq!(err.to_string(), "service has not been deployed");
+    }
+}

@@ -73,6 +73,7 @@ pub mod routing;
 pub mod scaling;
 pub mod service;
 pub mod sla;
+pub mod telemetry;
 pub mod tenant;
 pub mod tuning;
 
@@ -100,9 +101,14 @@ pub mod prelude {
     pub use crate::routing::{QueryRouter, Route, RouteKind};
     pub use crate::scaling::{identify_over_active, ScalingEvent};
     pub use crate::service::{
-        IncomingQuery, ServiceConfig, ServiceReport, ThriftyService, TraceConfig, TtpSample,
+        IncomingQuery, ServiceConfig, ServiceConfigBuilder, ServiceReport, ThriftyService,
+        TraceConfig, TtpSample,
     };
     pub use crate::sla::{SlaPolicy, SlaRecord, SlaSummary};
+    pub use crate::telemetry::{
+        InstanceUtilization, Registry, Telemetry, TelemetryConfig, TelemetryEvent,
+        TelemetrySnapshot,
+    };
     pub use crate::tenant::{Tenant, TenantId};
     pub use crate::tuning::recommend_tuning_nodes;
 }

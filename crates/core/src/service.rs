@@ -17,9 +17,11 @@ use crate::monitor::GroupActivityMonitor;
 use crate::routing::{QueryRouter, RouteKind};
 use crate::scaling::{identify_over_active, ScalingEvent};
 use crate::sla::{SlaPolicy, SlaRecord, SlaSummary};
+use crate::telemetry::{InstanceUtilization, Telemetry, TelemetryConfig, TelemetryEvent};
 use crate::tenant::{Tenant, TenantId};
 use mppdb_sim::cluster::{Cluster, ClusterConfig, QueryCompletion, SimEvent};
 use mppdb_sim::error::SimError;
+use mppdb_sim::failure::FailurePlan;
 use mppdb_sim::instance::InstanceId;
 use mppdb_sim::node::NodeId;
 use mppdb_sim::query::{QueryId, QuerySpec, QueryTemplate, TemplateId};
@@ -28,7 +30,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// RT-TTP trace sampling (for the Figure 7.7 time-series plots).
+///
+/// `#[non_exhaustive]`: construct via [`TraceConfig::new`] (fields stay
+/// readable).
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct TraceConfig {
     /// Which tenant-groups to sample.
     pub groups: Vec<usize>,
@@ -36,8 +42,24 @@ pub struct TraceConfig {
     pub interval_ms: u64,
 }
 
+impl TraceConfig {
+    /// Samples the RT-TTP of `groups` every `interval_ms` of log time.
+    pub fn new(groups: Vec<usize>, interval_ms: u64) -> Self {
+        TraceConfig {
+            groups,
+            interval_ms,
+        }
+    }
+}
+
 /// Service configuration.
+///
+/// `#[non_exhaustive]`: construct via [`ServiceConfig::builder`] (or take
+/// [`ServiceConfig::default`] as-is); fields stay readable. New knobs —
+/// like [`TelemetryConfig`] in this revision — land behind the builder
+/// without breaking existing callers.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ServiceConfig {
     /// SLA evaluation policy.
     pub sla_policy: SlaPolicy,
@@ -53,6 +75,8 @@ pub struct ServiceConfig {
     pub scaling_check_interval_ms: u64,
     /// Optional RT-TTP trace sampling.
     pub trace: Option<TraceConfig>,
+    /// Telemetry recording policy (on by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -65,7 +89,89 @@ impl Default for ServiceConfig {
             scaling_epoch_ms: 10_000,
             scaling_check_interval_ms: 60_000,
             trace: None,
+            telemetry: TelemetryConfig::default(),
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Starts a fluent builder seeded with [`ServiceConfig::default`].
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder::default()
+    }
+}
+
+/// Fluent builder for [`ServiceConfig`]. Every setter has the same name
+/// as the field it sets; unset fields keep their default.
+///
+/// ```
+/// use thrifty::prelude::*;
+///
+/// let config = ServiceConfig::builder()
+///     .elastic_scaling(false)
+///     .sla_p(0.99)
+///     .telemetry(TelemetryConfig::disabled())
+///     .build();
+/// assert!(!config.elastic_scaling);
+/// assert!(!config.telemetry.enabled);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ServiceConfigBuilder {
+    cfg: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the SLA evaluation policy.
+    pub fn sla_policy(mut self, policy: SlaPolicy) -> Self {
+        self.cfg.sla_policy = policy;
+        self
+    }
+
+    /// Sets the performance guarantee `P` (fraction).
+    pub fn sla_p(mut self, p: f64) -> Self {
+        self.cfg.sla_p = p;
+        self
+    }
+
+    /// Enables or disables lightweight elastic scaling.
+    pub fn elastic_scaling(mut self, on: bool) -> Self {
+        self.cfg.elastic_scaling = on;
+        self
+    }
+
+    /// Sets the RT-TTP monitoring window in ms.
+    pub fn monitor_window_ms(mut self, ms: u64) -> Self {
+        self.cfg.monitor_window_ms = ms;
+        self
+    }
+
+    /// Sets the epoch size for over-active-tenant identification in ms.
+    pub fn scaling_epoch_ms(mut self, ms: u64) -> Self {
+        self.cfg.scaling_epoch_ms = ms;
+        self
+    }
+
+    /// Sets the minimum spacing between scaling checks of one group in ms.
+    pub fn scaling_check_interval_ms(mut self, ms: u64) -> Self {
+        self.cfg.scaling_check_interval_ms = ms;
+        self
+    }
+
+    /// Enables RT-TTP trace sampling.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.cfg.trace = Some(trace);
+        self
+    }
+
+    /// Sets the telemetry recording policy.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> ServiceConfig {
+        self.cfg
     }
 }
 
@@ -91,6 +197,8 @@ pub struct ServiceReport {
     pub scaling_events: Vec<ScalingEvent>,
     /// RT-TTP trace samples (empty unless tracing was configured).
     pub ttp_trace: Vec<TtpSample>,
+    /// Telemetry recorded along the way (empty when disabled).
+    pub telemetry: crate::telemetry::TelemetrySnapshot,
 }
 
 /// An incoming query on the log timeline.
@@ -164,6 +272,8 @@ pub struct ThriftyService {
     historical_ratios: HashMap<TenantId, f64>,
     /// Pricing-model usage metering (Chapter 3).
     meter: UsageMeter,
+    /// Metrics + event recorder (see [`crate::telemetry`]).
+    telemetry: Telemetry,
     /// All log times are shifted by this offset: the deployment finishes
     /// provisioning first, then the observation horizon begins.
     offset_ms: u64,
@@ -214,6 +324,47 @@ impl ThriftyService {
             });
         }
         let next_trace_ms = offset_ms;
+        let mut telemetry = Telemetry::new(config.telemetry);
+        if telemetry.is_enabled() {
+            // Pre-register the counter taxonomy at zero so every snapshot
+            // carries the full set of names, touched or not.
+            for name in [
+                "queries.submitted",
+                "queries.completed",
+                "queries.cancelled",
+                "queries.migrated",
+                "route.sticky",
+                "route.tuning_free",
+                "route.other_free",
+                "route.overflow",
+                "sla.met",
+                "sla.violated",
+                "scaling.triggered",
+                "scaling.activated",
+                "tenants.migrated",
+                "nodes.failed",
+                "nodes.replaced",
+                "instances.provisioned",
+            ] {
+                telemetry.incr_by(name, 0);
+            }
+            // The initial deployment counts as provisioning at log time 0.
+            for group in &groups {
+                for &instance in &group.instances {
+                    let nodes = cluster
+                        .instance(instance)
+                        .map(|i| i.nodes().len())
+                        .unwrap_or(0);
+                    telemetry.incr("instances.provisioned");
+                    telemetry.record(TelemetryEvent::InstanceProvisioned {
+                        at_ms: 0,
+                        instance,
+                        nodes,
+                    });
+                }
+            }
+            telemetry.set_gauge("groups", groups.len() as i64);
+        }
         Ok(ThriftyService {
             cluster,
             config,
@@ -229,6 +380,7 @@ impl ThriftyService {
             offset_ms,
             historical_ratios: HashMap::new(),
             meter: UsageMeter::new(),
+            telemetry,
         })
     }
 
@@ -260,7 +412,12 @@ impl ThriftyService {
 
     /// Replays a chronologically ordered sequence of queries and returns
     /// the service report. May be called repeatedly with consecutive log
-    /// segments.
+    /// segments; each call *drains* the accumulated records, scaling
+    /// events, trace samples, and telemetry events into the returned
+    /// report (summary counters stay cumulative inside the telemetry
+    /// snapshot), so replaying a large log does not hold two copies of
+    /// the record vectors in memory at once. Use [`Self::records`] or
+    /// [`Self::report`] for non-draining access.
     pub fn replay<I>(&mut self, queries: I) -> ThriftyResult<ServiceReport>
     where
         I: IntoIterator<Item = IncomingQuery>,
@@ -269,7 +426,7 @@ impl ThriftyService {
             self.submit(q)?;
         }
         self.drain();
-        Ok(self.report())
+        Ok(self.take_report())
     }
 
     /// Submits one query at its log time, first delivering every simulator
@@ -380,13 +537,95 @@ impl ThriftyService {
         }
     }
 
-    /// Builds the report for everything replayed so far.
+    /// Builds the report for everything replayed so far without consuming
+    /// any state (clones the record vectors; prefer [`Self::into_report`]
+    /// or the draining [`Self::replay`] for large logs).
     pub fn report(&self) -> ServiceReport {
         ServiceReport {
             records: self.records.clone(),
             summary: SlaSummary::from_records(&self.records),
             scaling_events: self.scaling_events.clone(),
             ttp_trace: self.ttp_trace.clone(),
+            telemetry: self.telemetry_snapshot(),
+        }
+    }
+
+    /// Consumes the service and produces the final report without cloning
+    /// the accumulated record vectors. Outstanding simulator work is
+    /// drained first, so every submitted query is accounted for.
+    pub fn into_report(mut self) -> ServiceReport {
+        self.drain();
+        self.take_report()
+    }
+
+    /// A snapshot of the telemetry recorded so far, with per-instance
+    /// utilization filled in from the live cluster.
+    pub fn telemetry_snapshot(&self) -> crate::telemetry::TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        if snap.enabled {
+            self.fill_instance_utilization(&mut snap);
+        }
+        snap
+    }
+
+    fn fill_instance_utilization(&self, snap: &mut crate::telemetry::TelemetrySnapshot) {
+        let now = self.cluster.now();
+        let epoch = SimTime::from_ms(self.offset_ms);
+        snap.instances = self
+            .cluster
+            .instances()
+            .map(|inst| InstanceUtilization::from_instance(inst, epoch, now))
+            .collect();
+    }
+
+    /// Moves the accumulated records out of the service into a report.
+    /// `scaling_events` can only be drained while no scale-out is pending
+    /// (a pending scale holds an index into the vector); after
+    /// [`Self::drain`] that is the normal state.
+    fn take_report(&mut self) -> ServiceReport {
+        let records = std::mem::take(&mut self.records);
+        let summary = SlaSummary::from_records(&records);
+        let scaling_pending = self.groups.iter().any(|g| g.pending_scale.is_some());
+        let scaling_events = if scaling_pending {
+            self.scaling_events.clone()
+        } else {
+            std::mem::take(&mut self.scaling_events)
+        };
+        let ttp_trace = std::mem::take(&mut self.ttp_trace);
+        let mut telemetry = self.telemetry.take_snapshot();
+        if telemetry.enabled {
+            self.fill_instance_utilization(&mut telemetry);
+        }
+        ServiceReport {
+            records,
+            summary,
+            scaling_events,
+            ttp_trace,
+            telemetry,
+        }
+    }
+
+    /// Schedules every node failure of a [`FailurePlan`] at its log-time
+    /// instant (the plan's times are interpreted on the log timeline, like
+    /// [`Self::inject_node_failure`]).
+    pub fn apply_failure_plan(&mut self, plan: &FailurePlan) -> ThriftyResult<()> {
+        for &(node, at) in plan.events() {
+            self.inject_node_failure(node, at)?;
+        }
+        Ok(())
+    }
+
+    /// Translates an absolute simulated instant to the log timeline.
+    fn log_ms(&self, abs_ms: u64) -> u64 {
+        abs_ms.saturating_sub(self.offset_ms)
+    }
+
+    fn route_counter(kind: RouteKind) -> &'static str {
+        match kind {
+            RouteKind::Sticky => "route.sticky",
+            RouteKind::TuningFree => "route.tuning_free",
+            RouteKind::OtherFree => "route.other_free",
+            RouteKind::Overflow => "route.overflow",
         }
     }
 
@@ -399,12 +638,33 @@ impl ThriftyService {
                 SimEvent::InstanceReady { instance, at } => {
                     self.activate_scale_out(instance, at);
                 }
-                // Node failures degrade parallelism transparently; the
-                // MPPDB stays online (Chapter 4.4). Tenant loads outside
-                // scaling do not occur in the service path.
-                SimEvent::TenantLoaded { .. }
-                | SimEvent::NodeFailed { .. }
-                | SimEvent::NodeReplaced { .. } => {}
+                SimEvent::NodeFailed { node, instance, at } => {
+                    // The MPPDB stays online at reduced parallelism
+                    // (Chapter 4.4); record the event for the operators.
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.incr("nodes.failed");
+                        let at_ms = self.log_ms(at.as_ms());
+                        self.telemetry.record(TelemetryEvent::NodeFailed {
+                            at_ms,
+                            node,
+                            instance,
+                        });
+                    }
+                }
+                SimEvent::NodeReplaced { instance, node, at } => {
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.incr("nodes.replaced");
+                        let at_ms = self.log_ms(at.as_ms());
+                        self.telemetry.record(TelemetryEvent::NodeReplaced {
+                            at_ms,
+                            instance,
+                            node,
+                        });
+                    }
+                }
+                // Tenant loads outside scaling do not occur in the
+                // service path.
+                SimEvent::TenantLoaded { .. } => {}
             }
         }
     }
@@ -448,6 +708,26 @@ impl ThriftyService {
         let qid = self.cluster.submit(instance, spec)?;
         group.monitor.on_query_start(q.tenant, at.as_ms());
         self.meter.on_query_start(q.tenant, at.as_ms());
+        let monitor_generation = group.monitor_generation;
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(at.as_ms());
+            self.telemetry.incr("queries.submitted");
+            self.telemetry.incr(Self::route_counter(route.kind));
+            self.telemetry.record(TelemetryEvent::QuerySubmitted {
+                at_ms,
+                query: qid,
+                tenant: q.tenant,
+                group: gi,
+            });
+            self.telemetry.record(TelemetryEvent::QueryRouted {
+                at_ms,
+                query: qid,
+                tenant: q.tenant,
+                group: gi,
+                mppdb: route.mppdb,
+                kind: route.kind,
+            });
+        }
         self.inflight.insert(
             qid,
             Inflight {
@@ -458,7 +738,7 @@ impl ThriftyService {
                 submitted_abs: at,
                 baseline: q.baseline,
                 route: route.kind,
-                monitor_generation: group.monitor_generation,
+                monitor_generation,
             },
         );
         Ok(())
@@ -479,7 +759,7 @@ impl ThriftyService {
         // Achieved latency is measured from the query's first submission,
         // not from any re-submission a scale-out migration performed.
         let achieved = c.finished.saturating_since(info.submitted_abs);
-        self.records.push(SlaRecord::evaluate(
+        let record = SlaRecord::evaluate(
             info.tenant,
             info.group,
             c.template,
@@ -488,7 +768,30 @@ impl ThriftyService {
             info.baseline,
             info.route,
             &self.config.sla_policy,
-        ));
+        );
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(now_ms);
+            self.telemetry.incr("queries.completed");
+            self.telemetry.incr(if record.met {
+                "sla.met"
+            } else {
+                "sla.violated"
+            });
+            self.telemetry.observe("query.latency_ms", achieved.as_ms());
+            // Normalized performance vs the dedicated baseline, in percent
+            // (100 = exactly the dedicated latency).
+            self.telemetry
+                .observe("query.slowdown_pct", (record.normalized * 100.0) as u64);
+            self.telemetry.record(TelemetryEvent::QueryCompleted {
+                at_ms,
+                query: c.query,
+                tenant: info.tenant,
+                group: info.group,
+                latency_ms: achieved.as_ms(),
+                met: record.met,
+            });
+        }
+        self.records.push(record);
         self.maybe_scale(info.group, now_ms);
     }
 
@@ -545,6 +848,26 @@ impl ThriftyService {
             Err(SimError::InsufficientNodes { .. }) => return,
             Err(e) => unreachable!("provisioning failed unexpectedly: {e}"),
         };
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(now_ms);
+            let nodes = self
+                .cluster
+                .instance(instance)
+                .map(|i| i.nodes().len())
+                .unwrap_or(0);
+            self.telemetry.incr("scaling.triggered");
+            self.telemetry.incr("instances.provisioned");
+            self.telemetry.record(TelemetryEvent::ScalingTriggered {
+                at_ms,
+                group: gi,
+                tenants: over_active.len(),
+            });
+            self.telemetry.record(TelemetryEvent::InstanceProvisioned {
+                at_ms,
+                instance,
+                nodes,
+            });
+        }
         let event_idx = self.scaling_events.len();
         self.scaling_events.push(ScalingEvent {
             group: gi,
@@ -609,6 +932,27 @@ impl ThriftyService {
         for t in &moved {
             self.tenant_group.insert(t.id, new_gi);
         }
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(now_ms);
+            self.telemetry.incr("scaling.activated");
+            self.telemetry
+                .incr_by("tenants.migrated", moved.len() as u64);
+            self.telemetry.record(TelemetryEvent::ScalingActivated {
+                at_ms,
+                group: gi,
+                new_group: new_gi,
+            });
+            for t in &moved {
+                self.telemetry.record(TelemetryEvent::TenantMigrated {
+                    at_ms,
+                    tenant: t.id,
+                    from_group: gi,
+                    to_group: new_gi,
+                });
+            }
+            self.telemetry
+                .set_gauge("groups", (self.groups.len() + 1) as i64);
+        }
         self.groups.push(GroupRuntime {
             members: moved,
             instances: vec![instance],
@@ -657,6 +1001,33 @@ impl ThriftyService {
             self.groups[new_gi]
                 .monitor
                 .on_query_start(info.tenant, now_ms);
+            if self.telemetry.is_enabled() {
+                let at_ms = self.log_ms(now_ms);
+                self.telemetry.incr("queries.cancelled");
+                self.telemetry.incr("queries.submitted");
+                self.telemetry.incr("queries.migrated");
+                self.telemetry.incr(Self::route_counter(route.kind));
+                self.telemetry.record(TelemetryEvent::QueryCancelled {
+                    at_ms,
+                    query: qid,
+                    tenant: info.tenant,
+                    group: gi,
+                });
+                self.telemetry.record(TelemetryEvent::QuerySubmitted {
+                    at_ms,
+                    query: new_qid,
+                    tenant: info.tenant,
+                    group: new_gi,
+                });
+                self.telemetry.record(TelemetryEvent::QueryRouted {
+                    at_ms,
+                    query: new_qid,
+                    tenant: info.tenant,
+                    group: new_gi,
+                    mppdb: route.mppdb,
+                    kind: route.kind,
+                });
+            }
             self.inflight.insert(
                 new_qid,
                 Inflight {
@@ -698,10 +1069,7 @@ mod tests {
     }
 
     fn service(a: u32, scaling: bool) -> ThriftyService {
-        let config = ServiceConfig {
-            elastic_scaling: scaling,
-            ..ServiceConfig::default()
-        };
+        let config = ServiceConfig::builder().elastic_scaling(scaling).build();
         ThriftyService::deploy(&two_tenant_plan(a), 16, [linear_template()], config).unwrap()
     }
 
@@ -793,12 +1161,11 @@ mod tests {
         // back-to-back queries while tenant 1 submits periodically: the
         // RT-TTP collapses, tenant 0 is identified as over-active, and a
         // scale-out MPPDB takes it over.
-        let config = ServiceConfig {
-            elastic_scaling: true,
-            monitor_window_ms: 24 * 3_600_000,
-            scaling_check_interval_ms: 10_000,
-            ..ServiceConfig::default()
-        };
+        let config = ServiceConfig::builder()
+            .elastic_scaling(true)
+            .monitor_window_ms(24 * 3_600_000)
+            .scaling_check_interval_ms(10_000)
+            .build();
         let mut s =
             ThriftyService::deploy(&two_tenant_plan(1), 16, [linear_template()], config).unwrap();
         // Baseline 60 s queries. Tenant 0 submits every 50 s (continuously
@@ -826,15 +1193,68 @@ mod tests {
     }
 
     #[test]
+    fn replay_drains_and_into_report_consumes() {
+        let mut s = service(2, false);
+        let first = s.replay([q(0, 0, 60_000)]).unwrap();
+        assert_eq!(first.records.len(), 1);
+        // 2 InstanceProvisioned + QuerySubmitted + QueryRouted + QueryCompleted.
+        assert_eq!(first.telemetry.events.len(), 5);
+        let second = s.replay([q(1, 1_000, 60_000)]).unwrap();
+        assert_eq!(second.records.len(), 1, "first segment was drained");
+        assert_eq!(
+            second.telemetry.counter("queries.submitted"),
+            2,
+            "registry counters stay cumulative across segments"
+        );
+        let mut s2 = service(2, false);
+        s2.submit(q(0, 0, 60_000)).unwrap();
+        let report = s2.into_report();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.summary.met, 1);
+    }
+
+    #[test]
+    fn telemetry_counters_reconcile_with_records() {
+        let mut s = service(2, false);
+        let report = s
+            .replay([q(0, 0, 60_000), q(1, 0, 60_000), q(0, 200, 60_000)])
+            .unwrap();
+        let t = &report.telemetry;
+        assert!(t.enabled);
+        assert_eq!(t.counter("queries.submitted"), 3);
+        assert_eq!(t.counter("queries.completed"), 3);
+        assert_eq!(t.counter("queries.cancelled"), 0);
+        assert_eq!(
+            t.counter("sla.met") + t.counter("sla.violated"),
+            report.summary.total as u64
+        );
+        assert_eq!(t.counter("instances.provisioned"), 2);
+        assert!(!t.instances.is_empty());
+        assert_eq!(t.histograms["query.latency_ms"].count, 3);
+    }
+
+    #[test]
+    fn disabled_telemetry_yields_empty_snapshot() {
+        let config = ServiceConfig::builder()
+            .elastic_scaling(false)
+            .telemetry(TelemetryConfig::disabled())
+            .build();
+        let mut s =
+            ThriftyService::deploy(&two_tenant_plan(2), 16, [linear_template()], config).unwrap();
+        let report = s.replay([q(0, 0, 60_000)]).unwrap();
+        assert_eq!(report.summary.total, 1, "service behaviour is unchanged");
+        assert!(!report.telemetry.enabled);
+        assert!(report.telemetry.counters.is_empty());
+        assert!(report.telemetry.events.is_empty());
+        assert!(report.telemetry.instances.is_empty());
+    }
+
+    #[test]
     fn trace_sampling_produces_monotone_timestamps() {
-        let config = ServiceConfig {
-            elastic_scaling: false,
-            trace: Some(TraceConfig {
-                groups: vec![0],
-                interval_ms: 100_000,
-            }),
-            ..ServiceConfig::default()
-        };
+        let config = ServiceConfig::builder()
+            .elastic_scaling(false)
+            .trace(TraceConfig::new(vec![0], 100_000))
+            .build();
         let mut s =
             ThriftyService::deploy(&two_tenant_plan(2), 16, [linear_template()], config).unwrap();
         let report = s

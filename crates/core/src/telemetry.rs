@@ -1,0 +1,805 @@
+//! Deterministic service telemetry: named metrics plus a structured event
+//! stream.
+//!
+//! The service loop (and the simulated cluster underneath it) is a black
+//! box without this module: the only outputs are the final SLA records.
+//! Telemetry opens the hot paths — query routing, completions, elastic
+//! scaling, node failures — as:
+//!
+//! * a [`Registry`] of named **counters**, **gauges**, and log-scale
+//!   **histograms** (power-of-two buckets, so recording is two integer
+//!   additions and a branch), and
+//! * a bounded stream of [`TelemetryEvent`]s, each stamped with its
+//!   **log-timeline** instant in milliseconds.
+//!
+//! ## Determinism contract
+//!
+//! Every recorded value derives from *simulated* time and simulated state —
+//! never from `Instant::now()` or any other wall-clock source. Two replays
+//! of the same log therefore produce byte-identical
+//! [`TelemetrySnapshot`]s, which is what lets `tests/determinism.rs`
+//! compare serialized reports across thread counts.
+//!
+//! ## Overhead contract
+//!
+//! With [`TelemetryConfig::disabled`] every recording call is a single
+//! branch on [`Telemetry::is_enabled`]; no allocation, no map lookup, no
+//! event push. The `sim_engine` bench exercises the cluster without any
+//! core-side telemetry at all.
+
+use crate::routing::RouteKind;
+use crate::tenant::TenantId;
+use mppdb_sim::instance::{InstanceId, MppdbInstance};
+use mppdb_sim::node::NodeId;
+use mppdb_sim::query::QueryId;
+use mppdb_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Telemetry recording policy.
+///
+/// Construct via [`TelemetryConfig::default`] (everything on),
+/// [`TelemetryConfig::counters_only`], or [`TelemetryConfig::disabled`];
+/// the struct is `#[non_exhaustive]` so new knobs can land without
+/// breaking callers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TelemetryConfig {
+    /// Master switch. Off = every recording call is a no-op.
+    pub enabled: bool,
+    /// Whether individual [`TelemetryEvent`]s are kept (counters and
+    /// histograms are always maintained while `enabled`).
+    pub record_events: bool,
+    /// Maximum number of retained events; once reached, further events
+    /// are counted in [`TelemetrySnapshot::dropped_events`] instead of
+    /// stored. Bounds memory on multi-day replays.
+    pub event_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            record_events: true,
+            event_capacity: 1 << 20,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Counters, gauges, and histograms only — no per-event records.
+    pub fn counters_only() -> Self {
+        TelemetryConfig {
+            record_events: false,
+            event_capacity: 0,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// Telemetry fully off: every recording call reduces to one branch.
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            record_events: false,
+            event_capacity: 0,
+        }
+    }
+
+    /// Caps the retained event stream at `capacity` events.
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+}
+
+/// A log-scale histogram with power-of-two buckets.
+///
+/// Bucket 0 holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. Recording is O(1) and allocation-free once the
+/// bucket vector has grown to the largest observed magnitude.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound for the `q`-quantile (`0.0 ..= 1.0`): the inclusive
+    /// upper edge of the bucket containing the rank-`⌈q·count⌉`
+    /// observation, clamped to the observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Freezes the histogram into its serializable form.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            buckets: self.buckets.clone(),
+        }
+    }
+}
+
+/// Serializable summary of one [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median upper bound (bucket resolution).
+    pub p50: u64,
+    /// 95th-percentile upper bound (bucket resolution).
+    pub p95: u64,
+    /// 99th-percentile upper bound (bucket resolution).
+    pub p99: u64,
+    /// Raw power-of-two bucket counts (see [`Histogram`]).
+    pub buckets: Vec<u64>,
+}
+
+/// A registry of named metrics. Names are `.`-separated lowercase paths
+/// (e.g. `"queries.submitted"`, `"route.overflow"`); the `BTreeMap`
+/// backing keeps iteration — and therefore serialization — in
+/// deterministic name order.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Increments a counter by 1.
+    pub fn incr(&mut self, name: &str) {
+        self.incr_by(name, 1);
+    }
+
+    /// Increments a counter by `n`. Allocates only on the first use of a
+    /// name.
+    pub fn incr_by(&mut self, name: &str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Records an observation into a named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+/// One structured event on the service's **log timeline** (`at_ms` is
+/// milliseconds since the deployment went live). Variants mirror the
+/// operational vocabulary of the paper's run-time chapters; the enum is
+/// `#[non_exhaustive]` so new event kinds can be added without breaking
+/// downstream matches.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TelemetryEvent {
+    /// A query entered the service.
+    QuerySubmitted {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// Engine-assigned query id.
+        query: QueryId,
+        /// Submitting tenant.
+        tenant: TenantId,
+        /// Tenant-group serving the tenant.
+        group: usize,
+    },
+    /// Algorithm 1 placed a query on an MPPDB.
+    QueryRouted {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// Engine-assigned query id.
+        query: QueryId,
+        /// Submitting tenant.
+        tenant: TenantId,
+        /// Tenant-group serving the tenant.
+        group: usize,
+        /// Index of the chosen MPPDB within the group (0 = tuning MPPDB).
+        mppdb: usize,
+        /// Which routing rule fired (overflow = concurrent processing).
+        kind: RouteKind,
+    },
+    /// A query finished and was graded against its SLA.
+    QueryCompleted {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// Engine-assigned query id.
+        query: QueryId,
+        /// Submitting tenant.
+        tenant: TenantId,
+        /// Tenant-group that served the query.
+        group: usize,
+        /// Achieved latency in ms (from first submission).
+        latency_ms: u64,
+        /// Whether the SLA was met.
+        met: bool,
+    },
+    /// A query was cancelled (elastic scaling migrates it by cancelling
+    /// and resubmitting on the scale-out MPPDB).
+    QueryCancelled {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// Engine-assigned query id.
+        query: QueryId,
+        /// Submitting tenant.
+        tenant: TenantId,
+        /// Tenant-group the query was cancelled in.
+        group: usize,
+    },
+    /// A group's RT-TTP fell below `P` and over-active tenants were
+    /// identified (Chapter 5.1); a scale-out MPPDB starts loading.
+    ScalingTriggered {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The group scaling out.
+        group: usize,
+        /// Number of over-active tenants selected to move.
+        tenants: usize,
+    },
+    /// The scale-out MPPDB finished loading and took over its tenants.
+    ScalingActivated {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The parent group.
+        group: usize,
+        /// The freshly created scale-out group.
+        new_group: usize,
+    },
+    /// An MPPDB instance was provisioned (start-up + bulk load began).
+    InstanceProvisioned {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The new instance.
+        instance: InstanceId,
+        /// Node count of the instance.
+        nodes: usize,
+    },
+    /// An MPPDB instance was decommissioned and its nodes returned to the
+    /// hibernated pool.
+    InstanceDecommissioned {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The decommissioned instance.
+        instance: InstanceId,
+    },
+    /// A node failed; the owning instance (if any) stays online at
+    /// reduced parallelism (Chapter 4.4).
+    NodeFailed {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The failed node.
+        node: NodeId,
+        /// The instance it served, if any.
+        instance: Option<InstanceId>,
+    },
+    /// A replacement node joined an instance, restoring its parallelism.
+    NodeReplaced {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The restored instance.
+        instance: InstanceId,
+        /// The replacement node.
+        node: NodeId,
+    },
+    /// Elastic scaling moved a tenant to a scale-out group.
+    TenantMigrated {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The moved tenant.
+        tenant: TenantId,
+        /// The group it left.
+        from_group: usize,
+        /// The scale-out group now serving it.
+        to_group: usize,
+    },
+}
+
+impl TelemetryEvent {
+    /// The log-time instant of the event in ms.
+    pub fn at_ms(&self) -> u64 {
+        match *self {
+            TelemetryEvent::QuerySubmitted { at_ms, .. }
+            | TelemetryEvent::QueryRouted { at_ms, .. }
+            | TelemetryEvent::QueryCompleted { at_ms, .. }
+            | TelemetryEvent::QueryCancelled { at_ms, .. }
+            | TelemetryEvent::ScalingTriggered { at_ms, .. }
+            | TelemetryEvent::ScalingActivated { at_ms, .. }
+            | TelemetryEvent::InstanceProvisioned { at_ms, .. }
+            | TelemetryEvent::InstanceDecommissioned { at_ms, .. }
+            | TelemetryEvent::NodeFailed { at_ms, .. }
+            | TelemetryEvent::NodeReplaced { at_ms, .. }
+            | TelemetryEvent::TenantMigrated { at_ms, .. } => at_ms,
+        }
+    }
+}
+
+/// Utilization and interference statistics of one MPPDB instance,
+/// derived from the simulator's always-on [`mppdb_sim::instance::InstanceStats`]
+/// accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InstanceUtilization {
+    /// The instance.
+    pub instance: InstanceId,
+    /// Node count of the instance.
+    pub nodes: usize,
+    /// Simulated ms between instance creation and the snapshot.
+    pub elapsed_ms: u64,
+    /// Simulated ms with at least one query running.
+    pub busy_ms: u64,
+    /// `busy_ms / elapsed_ms` (0 when no time has elapsed).
+    pub utilization: f64,
+    /// Time-averaged concurrency (queue depth integral over elapsed time).
+    pub avg_concurrency: f64,
+    /// Peak concurrency ever observed.
+    pub max_concurrency: u32,
+    /// Queries submitted to this instance.
+    pub submitted: u64,
+    /// Queries completed on this instance.
+    pub completed: u64,
+    /// Queries cancelled (migration or decommission).
+    pub cancelled: u64,
+    /// Mean slowdown vs dedicated execution (1.0 = no interference).
+    pub mean_slowdown: f64,
+    /// Worst slowdown vs dedicated execution.
+    pub max_slowdown: f64,
+}
+
+impl InstanceUtilization {
+    /// Builds the utilization view of one instance at simulated time `now`.
+    ///
+    /// The measurement window starts at the later of the instance's
+    /// creation and `epoch` (the service-ready instant), so provisioning
+    /// and bulk-load delays do not dilute the utilization ratio.
+    pub fn from_instance(inst: &MppdbInstance, epoch: SimTime, now: SimTime) -> Self {
+        let stats = inst.stats();
+        let since = inst.created().max(epoch);
+        let elapsed_ms = now.saturating_since(since).as_ms();
+        let denom = elapsed_ms.max(1) as f64;
+        InstanceUtilization {
+            instance: inst.id(),
+            nodes: inst.nodes().len(),
+            elapsed_ms,
+            busy_ms: stats.busy_ms,
+            utilization: stats.busy_ms as f64 / denom,
+            avg_concurrency: stats.concurrency_ms as f64 / denom,
+            max_concurrency: stats.max_concurrency,
+            submitted: stats.submitted,
+            completed: stats.completed,
+            cancelled: stats.cancelled,
+            mean_slowdown: stats.mean_slowdown(),
+            max_slowdown: stats.slowdown_max,
+        }
+    }
+}
+
+/// Serializable freeze of everything the telemetry subsystem recorded:
+/// the registry contents, the per-instance utilization, and the retained
+/// event stream. This is what [`crate::service::ServiceReport`] carries
+/// and what lands in `BENCH_<id>.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Whether telemetry was enabled (all collections are empty if not).
+    pub enabled: bool,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Per-instance utilization (every instance ever created).
+    pub instances: Vec<InstanceUtilization>,
+    /// The retained event stream, in recording order.
+    pub events: Vec<TelemetryEvent>,
+    /// Events discarded after `event_capacity` was reached.
+    pub dropped_events: u64,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot (used when telemetry is disabled).
+    pub fn empty(enabled: bool) -> Self {
+        TelemetrySnapshot {
+            enabled,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            instances: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+
+    /// Counter value by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Events of the stream matching a predicate.
+    pub fn events_where<'a>(
+        &'a self,
+        mut pred: impl FnMut(&TelemetryEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TelemetryEvent> {
+        self.events.iter().filter(move |e| pred(e))
+    }
+}
+
+/// The live recorder owned by the service loop. All mutating calls are
+/// gated on [`TelemetryConfig::enabled`]; when disabled they reduce to a
+/// single branch.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    config: TelemetryConfig,
+    registry: Registry,
+    events: Vec<TelemetryEvent>,
+    dropped_events: u64,
+}
+
+impl Telemetry {
+    /// Creates a recorder under the given policy.
+    pub fn new(config: TelemetryConfig) -> Self {
+        Telemetry {
+            config,
+            registry: Registry::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+
+    /// Whether recording is on. Callers computing non-trivial values to
+    /// record should branch on this first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// Increments a counter (no-op when disabled).
+    #[inline]
+    pub fn incr(&mut self, name: &str) {
+        if self.config.enabled {
+            self.registry.incr(name);
+        }
+    }
+
+    /// Increments a counter by `n` (no-op when disabled).
+    #[inline]
+    pub fn incr_by(&mut self, name: &str, n: u64) {
+        if self.config.enabled {
+            self.registry.incr_by(name, n);
+        }
+    }
+
+    /// Sets a gauge (no-op when disabled).
+    #[inline]
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        if self.config.enabled {
+            self.registry.set_gauge(name, value);
+        }
+    }
+
+    /// Records a histogram observation (no-op when disabled).
+    #[inline]
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if self.config.enabled {
+            self.registry.observe(name, value);
+        }
+    }
+
+    /// Appends an event to the stream (no-op when disabled or when events
+    /// are off; counted as dropped once the capacity is reached).
+    #[inline]
+    pub fn record(&mut self, event: TelemetryEvent) {
+        if !self.config.enabled || !self.config.record_events {
+            return;
+        }
+        if self.events.len() >= self.config.event_capacity {
+            self.dropped_events += 1;
+            return;
+        }
+        self.events.push(event);
+    }
+
+    /// Read access to the registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The retained events so far.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Freezes the current state without consuming it (clones the event
+    /// stream). Instance utilization is filled in by the service, which
+    /// owns the cluster.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        if !self.config.enabled {
+            return TelemetrySnapshot::empty(false);
+        }
+        TelemetrySnapshot {
+            enabled: true,
+            counters: self.registry.counters.clone(),
+            gauges: self.registry.gauges.clone(),
+            histograms: self
+                .registry
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            instances: Vec::new(),
+            events: self.events.clone(),
+            dropped_events: self.dropped_events,
+        }
+    }
+
+    /// Like [`Self::snapshot`], but drains the retained event stream (the
+    /// memory-heavy part) instead of cloning it. Counters, gauges, and
+    /// histograms stay cumulative across calls.
+    pub fn take_snapshot(&mut self) -> TelemetrySnapshot {
+        let mut snap = self.snapshot();
+        if self.config.enabled {
+            snap.events = std::mem::take(&mut self.events);
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(0.5) <= 3);
+        assert_eq!(h.quantile(1.0), 1000);
+        let s = h.snapshot();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 1106.0 / 6.0).abs() < 1e-9);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds_within_bucket_resolution() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(0.99) >= 990);
+        assert!(h.quantile(1.0) == 1000);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = Registry::new();
+        r.incr("a");
+        r.incr("a");
+        r.incr_by("b", 5);
+        r.set_gauge("g", -3);
+        r.set_gauge("g", 7);
+        r.observe("h", 10);
+        r.observe("h", 20);
+        assert_eq!(r.counter("a"), 2);
+        assert_eq!(r.counter("b"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("g"), Some(7));
+        assert_eq!(r.gauge("missing"), None);
+        assert_eq!(r.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let mut t = Telemetry::new(TelemetryConfig::disabled());
+        t.incr("x");
+        t.observe("y", 1);
+        t.set_gauge("z", 1);
+        t.record(TelemetryEvent::ScalingTriggered {
+            at_ms: 0,
+            group: 0,
+            tenants: 1,
+        });
+        let snap = t.snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.counters.is_empty());
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.dropped_events, 0);
+    }
+
+    #[test]
+    fn event_capacity_is_enforced_and_counted() {
+        let mut t = Telemetry::new(TelemetryConfig::default().with_event_capacity(2));
+        for i in 0..5u64 {
+            t.record(TelemetryEvent::ScalingTriggered {
+                at_ms: i,
+                group: 0,
+                tenants: 1,
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.dropped_events, 3);
+    }
+
+    #[test]
+    fn take_snapshot_drains_events_but_keeps_counters() {
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.incr("c");
+        t.record(TelemetryEvent::ScalingTriggered {
+            at_ms: 1,
+            group: 0,
+            tenants: 1,
+        });
+        let first = t.take_snapshot();
+        assert_eq!(first.events.len(), 1);
+        assert_eq!(first.counter("c"), 1);
+        let second = t.take_snapshot();
+        assert!(second.events.is_empty(), "events were drained");
+        assert_eq!(second.counter("c"), 1, "counters stay cumulative");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.incr("queries.submitted");
+        t.observe("query.latency_ms", 1234);
+        t.set_gauge("groups", 2);
+        t.record(TelemetryEvent::QueryRouted {
+            at_ms: 7,
+            query: QueryId(1),
+            tenant: TenantId(3),
+            group: 0,
+            mppdb: 1,
+            kind: RouteKind::OtherFree,
+        });
+        t.record(TelemetryEvent::NodeFailed {
+            at_ms: 9,
+            node: NodeId(4),
+            instance: Some(InstanceId(0)),
+        });
+        let snap = t.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.events[0].at_ms(), 7);
+    }
+}

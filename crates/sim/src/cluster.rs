@@ -304,6 +304,7 @@ impl Cluster {
         inst.set_state(InstanceState::Decommissioned);
         inst.version += 1; // invalidate pending completion checks
         let aborted = inst.drain_running().len();
+        inst.stats.cancelled += aborted as u64;
         let nodes: Vec<NodeId> = inst.nodes().to_vec();
         for n in nodes {
             if self.nodes[n.0 as usize].state() != NodeState::Failed {
@@ -411,6 +412,7 @@ impl Cluster {
             .position(|q| q.id == query)
             .ok_or(SimError::UnknownQuery(query))?;
         let q = inst.running.remove(pos);
+        inst.stats.cancelled += 1;
         inst.version += 1;
         let version = inst.version;
         let next_check = inst.next_completion_time(now);
@@ -485,6 +487,17 @@ impl Cluster {
                 }
                 inst.advance(now);
                 let finished = inst.take_finished();
+                for q in &finished {
+                    inst.stats.completed += 1;
+                    let latency_ms = now.saturating_since(q.submitted).as_ms() as f64;
+                    let slowdown = if q.dedicated_ms <= 0.0 {
+                        1.0
+                    } else {
+                        latency_ms / q.dedicated_ms
+                    };
+                    inst.stats.slowdown_sum += slowdown;
+                    inst.stats.slowdown_max = inst.stats.slowdown_max.max(slowdown);
+                }
                 inst.version += 1;
                 let version = inst.version;
                 if let Some(at) = inst.next_completion_time(now) {
@@ -896,6 +909,51 @@ mod tests {
             assert_eq!(comp.finished, SimTime::from_ms(3_500));
         }
         assert_eq!(c.cancel_query(id, q0), Err(SimError::UnknownQuery(q0)));
+    }
+
+    #[test]
+    fn instance_stats_track_busy_time_and_slowdowns() {
+        let (mut c, id) = ready_cluster(4);
+        let t = linear_template();
+        // Two concurrent 15 s queries: busy 30 s, concurrency integral 60 s·q,
+        // each with slowdown 2.0 vs dedicated.
+        c.submit(id, QuerySpec::new(t, 100.0, SimTenantId(0)))
+            .unwrap();
+        c.submit(id, QuerySpec::new(t, 100.0, SimTenantId(1)))
+            .unwrap();
+        c.run_to_quiescence();
+        let stats = c.instance(id).unwrap().stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.busy_ms, 30_000);
+        assert_eq!(stats.concurrency_ms, 60_000);
+        assert_eq!(stats.max_concurrency, 2);
+        assert!((stats.mean_slowdown() - 2.0).abs() < 1e-6);
+        assert!((stats.slowdown_max - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn instance_stats_count_cancellations() {
+        let (mut c, id) = ready_cluster(2);
+        let t = linear_template();
+        let q0 = c
+            .submit(id, QuerySpec::new(t, 10.0, SimTenantId(0)))
+            .unwrap();
+        c.submit(id, QuerySpec::new(t, 10.0, SimTenantId(1)))
+            .unwrap();
+        c.run_until(SimTime::from_secs(1));
+        c.cancel_query(id, q0).unwrap();
+        c.run_to_quiescence();
+        let stats = c.instance(id).unwrap().stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.cancelled,
+            "submissions reconcile with completions + cancellations"
+        );
     }
 
     #[test]

@@ -6,7 +6,11 @@ use crate::query::{QueryId, SimTenantId};
 use std::fmt;
 
 /// Errors returned by [`crate::cluster::Cluster`] operations.
+///
+/// `#[non_exhaustive]`: new failure modes may be added; always keep a
+/// wildcard arm when matching.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The instance id does not exist.
     UnknownInstance(InstanceId),

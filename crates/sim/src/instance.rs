@@ -56,6 +56,42 @@ pub(crate) struct RunningQuery {
 /// floating-point residue after repeated processor-sharing updates.
 const FINISH_EPSILON_MS: f64 = 1e-6;
 
+/// Always-on utilization accounting of one instance, accrued as the
+/// processor-sharing clock advances. All values derive from simulated
+/// time, so they are deterministic across replays; maintaining them is a
+/// handful of integer additions per processor-sharing advance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstanceStats {
+    /// Simulated ms during which at least one query was running.
+    pub busy_ms: u64,
+    /// Integral of concurrency over simulated time (ms · queries); divide
+    /// by elapsed time for the time-averaged queue depth.
+    pub concurrency_ms: u64,
+    /// Queries submitted to this instance.
+    pub submitted: u64,
+    /// Queries that ran to completion here.
+    pub completed: u64,
+    /// Queries cancelled (migration or decommission) before completing.
+    pub cancelled: u64,
+    /// Highest concurrency ever observed.
+    pub max_concurrency: u32,
+    /// Sum over completed queries of `achieved / dedicated` latency.
+    pub slowdown_sum: f64,
+    /// Worst `achieved / dedicated` ratio among completed queries.
+    pub slowdown_max: f64,
+}
+
+impl InstanceStats {
+    /// Mean slowdown vs dedicated execution (1.0 when nothing completed).
+    pub fn mean_slowdown(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.slowdown_sum / self.completed as f64
+        }
+    }
+}
+
 /// One shared-process MPPDB running on a group of cluster nodes.
 #[derive(Clone, Debug)]
 pub struct MppdbInstance {
@@ -68,8 +104,12 @@ pub struct MppdbInstance {
     pub(crate) running: Vec<RunningQuery>,
     /// Last virtual instant at which `running[*].remaining_ms` was updated.
     last_advance: SimTime,
+    /// When the instance was created (provisioning start).
+    created: SimTime,
     /// Monotonic counter invalidating stale completion-check events.
     pub(crate) version: u64,
+    /// Lifetime utilization accounting.
+    pub(crate) stats: InstanceStats,
 }
 
 impl MppdbInstance {
@@ -93,13 +133,26 @@ impl MppdbInstance {
             hosted,
             running: Vec::new(),
             last_advance: created,
+            created,
             version: 0,
+            stats: InstanceStats::default(),
         }
     }
 
     /// The instance's identifier.
     pub fn id(&self) -> InstanceId {
         self.id
+    }
+
+    /// Simulated instant at which the instance was created (provisioning
+    /// start).
+    pub fn created(&self) -> SimTime {
+        self.created
+    }
+
+    /// Lifetime utilization accounting.
+    pub fn stats(&self) -> &InstanceStats {
+        &self.stats
     }
 
     /// The node group backing this instance.
@@ -177,12 +230,15 @@ impl MppdbInstance {
     /// Advances the processor-sharing clock to `now`, decrementing each
     /// running query's remaining dedicated work by `dt / k`.
     pub(crate) fn advance(&mut self, now: SimTime) {
-        let dt_ms = now.saturating_since(self.last_advance).as_ms() as f64;
+        let dt = now.saturating_since(self.last_advance).as_ms();
+        let dt_ms = dt as f64;
         self.last_advance = now;
         let k = self.running.len();
         if k == 0 || dt_ms == 0.0 {
             return;
         }
+        self.stats.busy_ms += dt;
+        self.stats.concurrency_ms += dt * k as u64;
         let share = dt_ms / k as f64;
         for q in &mut self.running {
             q.remaining_ms = (q.remaining_ms - share).max(0.0);
@@ -226,6 +282,8 @@ impl MppdbInstance {
 
     pub(crate) fn push_running(&mut self, q: RunningQuery) {
         self.running.push(q);
+        self.stats.submitted += 1;
+        self.stats.max_concurrency = self.stats.max_concurrency.max(self.running.len() as u32);
     }
 
     pub(crate) fn drain_running(&mut self) -> Vec<RunningQuery> {

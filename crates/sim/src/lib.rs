@@ -57,7 +57,7 @@ pub mod prelude {
     pub use crate::cost::{isolated_latency_ms, speedup};
     pub use crate::error::{SimError, SimResult};
     pub use crate::failure::FailurePlan;
-    pub use crate::instance::{InstanceId, InstanceState, MppdbInstance};
+    pub use crate::instance::{InstanceId, InstanceState, InstanceStats, MppdbInstance};
     pub use crate::loading::ProvisioningModel;
     pub use crate::metrics::{LatencyStats, NormalizedPerf};
     pub use crate::node::{Node, NodeId, NodeState};

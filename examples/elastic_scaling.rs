@@ -30,10 +30,9 @@ fn main() {
         &plan,
         16,
         [template],
-        ServiceConfig {
-            scaling_check_interval_ms: 60_000,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::builder()
+            .scaling_check_interval_ms(60_000)
+            .build(),
     )
     .expect("plan fits");
     // Historical activity: T0 was a quiet 5%-active tenant; the others run

@@ -93,7 +93,7 @@ fn parallel_pipeline_is_byte_identical_to_serial() {
     use thrifty_bench::parallel;
     use thrifty_bench::pipeline::{compare_algorithms, defaults, Harness};
 
-    let run = |threads: usize| -> (String, String, String) {
+    let run = |threads: usize| -> (String, String, String, String) {
         parallel::set_thread_override(Some(threads));
         let mut cfg = GenerationConfig::small(11, 80);
         cfg.parallelism_levels = vec![2, 4];
@@ -107,6 +107,7 @@ fn parallel_pipeline_is_byte_identical_to_serial() {
             2,
             defaults::SLA_P,
         );
+        let telemetry_report = replay_with_telemetry(&corpus, harness.library());
         parallel::set_thread_override(None);
         // `runtime` is wall clock — the one field allowed to differ.
         let strip = |report: &ConsolidationReport| {
@@ -118,6 +119,7 @@ fn parallel_pipeline_is_byte_identical_to_serial() {
             serde_json::to_string(&corpus.histories).unwrap(),
             strip(&point.ffd),
             strip(&point.two_step),
+            telemetry_report,
         )
     };
 
@@ -132,9 +134,74 @@ fn parallel_pipeline_is_byte_identical_to_serial() {
         serial.2, parallel.2,
         "2-step reports must be byte-identical"
     );
+    assert_eq!(
+        serial.3, parallel.3,
+        "the telemetry-enabled service report must be byte-identical"
+    );
     assert!(
         serial.0.len() > 1000,
         "the corpus must be substantial ({} bytes)",
         serial.0.len()
     );
+    assert!(
+        serial.3.contains("\"queries.submitted\""),
+        "the serialized report must carry telemetry counters"
+    );
+}
+
+/// Deploys the 2-step plan for `corpus` with telemetry fully enabled,
+/// replays six hours of the composed logs, and serializes the entire
+/// [`ServiceReport`] — counters, histograms, per-instance utilization, and
+/// the raw event stream — so the parallel-vs-serial comparison covers the
+/// telemetry subsystem byte for byte.
+fn replay_with_telemetry(
+    corpus: &thrifty_bench::pipeline::CorpusView,
+    library: &SessionLibrary,
+) -> String {
+    let advice = DeploymentAdvisor::new(AdvisorConfig {
+        replication: 2,
+        sla_p: 0.999,
+        epoch: EpochConfig::new(10_000, corpus.horizon_ms),
+        algorithm: GroupingAlgorithm::TwoStep,
+        exclusion: ExclusionPolicy::default(),
+    })
+    .advise(&corpus.histories);
+    let planned: std::collections::HashSet<TenantId> = advice
+        .plan
+        .groups
+        .iter()
+        .flat_map(|g| g.members.iter().map(|m| m.id))
+        .collect();
+    let composer = Composer::new(&corpus.cfg, library);
+    let templates: Vec<_> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| catalog(b).into_iter().map(|t| t.template))
+        .collect();
+    let mut service = ThriftyService::deploy(
+        &advice.plan,
+        advice.plan.nodes_used() as usize + 4,
+        templates,
+        ServiceConfig::builder()
+            .elastic_scaling(false)
+            .telemetry(TelemetryConfig::default())
+            .build(),
+    )
+    .unwrap();
+    let mut log: Vec<IncomingQuery> = corpus
+        .specs
+        .iter()
+        .filter(|s| planned.contains(&s.id))
+        .flat_map(|s| composer.compose_log(s).events)
+        .filter(|e| e.submit.as_ms() < 6 * 3_600_000)
+        .map(|e| IncomingQuery {
+            tenant: e.tenant,
+            submit: e.submit,
+            template: e.template,
+            baseline: e.sla_latency,
+        })
+        .collect();
+    log.sort_by_key(|q| (q.submit, q.tenant));
+    let report = service.replay(log).unwrap();
+    assert!(report.telemetry.counter("queries.submitted") > 0);
+    serde_json::to_string(&report).unwrap()
 }

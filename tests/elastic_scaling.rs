@@ -28,11 +28,10 @@ fn scenario(elastic: bool, history: bool) -> (ThriftyService, Vec<IncomingQuery>
         &plan,
         20,
         [template()],
-        ServiceConfig {
-            elastic_scaling: elastic,
-            scaling_check_interval_ms: 60_000,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::builder()
+            .elastic_scaling(elastic)
+            .scaling_check_interval_ms(60_000)
+            .build(),
     )
     .unwrap();
     if history {

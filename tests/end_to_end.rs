@@ -58,10 +58,7 @@ fn full_pipeline_consolidates_and_meets_slas() {
         &advice.plan,
         advice.plan.nodes_used() as usize + 8,
         templates,
-        ServiceConfig {
-            elastic_scaling: false,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::builder().elastic_scaling(false).build(),
     )
     .unwrap();
     let mut day_one: Vec<IncomingQuery> = composer

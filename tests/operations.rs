@@ -36,10 +36,7 @@ fn small_service(a: u32) -> ThriftyService {
         &plan,
         12,
         [template()],
-        ServiceConfig {
-            elastic_scaling: false,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::builder().elastic_scaling(false).build(),
     )
     .unwrap()
 }
@@ -99,11 +96,10 @@ fn reconsolidation_list_collects_scaled_groups() {
         &plan,
         12,
         [template()],
-        ServiceConfig {
-            elastic_scaling: true,
-            scaling_check_interval_ms: 60_000,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::builder()
+            .elastic_scaling(true)
+            .scaling_check_interval_ms(60_000)
+            .build(),
     )
     .unwrap();
     s.set_historical_activity(members.iter().map(|m| (m.id, 0.02)));

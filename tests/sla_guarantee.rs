@@ -22,10 +22,7 @@ fn service(tenants: u32, nodes: u32, a: u32, templates: &[QueryTemplate]) -> Thr
         &plan(tenants, nodes, a),
         (nodes * a) as usize + 4,
         templates.iter().copied(),
-        ServiceConfig {
-            elastic_scaling: false,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::builder().elastic_scaling(false).build(),
     )
     .unwrap()
 }
@@ -158,10 +155,7 @@ fn a_bigger_tuning_mppdb_absorbs_overflow_for_linear_queries() {
         &plan,
         12,
         [linear],
-        ServiceConfig {
-            elastic_scaling: false,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::builder().elastic_scaling(false).build(),
     )
     .unwrap();
     // Three concurrently active tenants on A = 2 MPPDBs: tenant 0 grabs the

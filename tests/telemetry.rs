@@ -1,0 +1,208 @@
+//! Telemetry subsystem, end to end: the event stream is time-ordered and
+//! per-query causal, the counters reconcile with the SLA records, and
+//! injected node failures surface as `NodeFailed`/`NodeReplaced` events at
+//! the exact simulated instants the cluster processed them.
+
+use mppdb_sim::cost::isolated_latency_ms;
+use mppdb_sim::failure::FailurePlan;
+use mppdb_sim::loading::ProvisioningModel;
+use mppdb_sim::query::{QueryTemplate, TemplateId};
+use mppdb_sim::time::{SimDuration, SimTime};
+use thrifty::prelude::*;
+
+fn template() -> QueryTemplate {
+    QueryTemplate::new(TemplateId(1), 100.0, 0.0)
+}
+
+fn baseline(nodes: u32) -> SimDuration {
+    SimDuration::from_ms_f64(isolated_latency_ms(
+        &template(),
+        100.0 * f64::from(nodes),
+        nodes as usize,
+    ))
+}
+
+fn q(t: u32, at_s: u64, nodes: u32) -> IncomingQuery {
+    IncomingQuery {
+        tenant: TenantId(t),
+        submit: SimTime::from_secs(at_s),
+        template: template().id,
+        baseline: baseline(nodes),
+    }
+}
+
+fn service(a: u32) -> ThriftyService {
+    let members: Vec<Tenant> = (0..3).map(|i| Tenant::new(TenantId(i), 2, 200.0)).collect();
+    let plan = DeploymentPlan {
+        groups: vec![TenantGroupPlan::new(members, a, 2)],
+    };
+    ThriftyService::deploy(
+        &plan,
+        12,
+        [template()],
+        ServiceConfig::builder().elastic_scaling(false).build(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn event_stream_is_time_ordered_and_per_query_causal() {
+    let mut s = service(2);
+    let report = s
+        .replay([q(0, 0, 2), q(1, 5, 2), q(0, 100, 2), q(2, 130, 2)])
+        .unwrap();
+    let events = &report.telemetry.events;
+    assert!(!events.is_empty());
+
+    // Global ordering: the stream is sorted by simulated time.
+    let stamps: Vec<u64> = events.iter().map(|e| e.at_ms()).collect();
+    assert!(
+        stamps.windows(2).all(|w| w[0] <= w[1]),
+        "event stream must be non-decreasing in at_ms: {stamps:?}"
+    );
+
+    // Per-query causality: Submitted -> Routed -> Completed, in that order.
+    let position = |pred: &dyn Fn(&TelemetryEvent) -> bool| events.iter().position(pred);
+    let submitted_ids: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::QuerySubmitted { query, .. } => Some(*query),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(submitted_ids.len(), report.records.len());
+    for qid in submitted_ids {
+        let submitted = position(
+            &|e| matches!(e, TelemetryEvent::QuerySubmitted { query, .. } if *query == qid),
+        );
+        let routed =
+            position(&|e| matches!(e, TelemetryEvent::QueryRouted { query, .. } if *query == qid));
+        let completed = position(
+            &|e| matches!(e, TelemetryEvent::QueryCompleted { query, .. } if *query == qid),
+        );
+        let (s_i, r_i, c_i) = (
+            submitted.expect("a submit event per query"),
+            routed.expect("a route event per query"),
+            completed.expect("a completion event per query"),
+        );
+        assert!(s_i < r_i && r_i < c_i, "causal order for {qid:?}");
+    }
+
+    // Route kinds in the events agree with the SLA records.
+    let overflow_events = report
+        .telemetry
+        .events_where(|e| {
+            matches!(
+                e,
+                TelemetryEvent::QueryRouted {
+                    kind: RouteKind::Overflow,
+                    ..
+                }
+            )
+        })
+        .count();
+    let overflow_records = report
+        .records
+        .iter()
+        .filter(|r| r.route == RouteKind::Overflow)
+        .count();
+    assert_eq!(overflow_events, overflow_records);
+}
+
+#[test]
+fn counters_reconcile_with_the_records() {
+    let mut s = service(2);
+    let queries: Vec<IncomingQuery> = (0..12u64).map(|k| q((k % 3) as u32, k * 50, 2)).collect();
+    let report = s.replay(queries).unwrap();
+    let snap = &report.telemetry;
+
+    let submitted = snap.counter("queries.submitted");
+    let completed = snap.counter("queries.completed");
+    let cancelled = snap.counter("queries.cancelled");
+    assert_eq!(submitted, 12);
+    assert_eq!(
+        submitted,
+        completed + cancelled,
+        "every submitted query must either complete or be cancelled"
+    );
+    assert_eq!(completed as usize, report.records.len());
+    assert_eq!(
+        snap.counter("sla.met") + snap.counter("sla.violated"),
+        completed
+    );
+    let routes = snap.counter("route.sticky")
+        + snap.counter("route.tuning_free")
+        + snap.counter("route.other_free")
+        + snap.counter("route.overflow");
+    assert_eq!(
+        routes, submitted,
+        "every submission takes exactly one route"
+    );
+    let latency = &snap.histograms["query.latency_ms"];
+    assert_eq!(latency.count, completed);
+    assert!(latency.p50 >= latency.min && latency.p99 <= latency.max.next_power_of_two());
+}
+
+#[test]
+fn failure_plan_failures_surface_with_exact_sim_timestamps() {
+    let mut s = service(2);
+    let victim = s
+        .cluster()
+        .instance(s.group_instances(0).unwrap()[0])
+        .unwrap()
+        .nodes()[0];
+    let plan = FailurePlan::none().fail_at(victim, SimTime::from_secs(50));
+    s.apply_failure_plan(&plan).unwrap();
+
+    // Replay well past the failure and the replacement start-up so both
+    // events are processed.
+    let report = s.replay([q(0, 0, 2), q(0, 60, 2), q(0, 2_000, 2)]).unwrap();
+    let snap = &report.telemetry;
+
+    assert_eq!(snap.counter("nodes.failed"), 1);
+    assert_eq!(snap.counter("nodes.replaced"), 1);
+
+    let failed: Vec<&TelemetryEvent> = snap
+        .events_where(|e| matches!(e, TelemetryEvent::NodeFailed { .. }))
+        .collect();
+    assert_eq!(failed.len(), 1);
+    let TelemetryEvent::NodeFailed { at_ms, node, .. } = failed[0] else {
+        unreachable!()
+    };
+    assert_eq!(*at_ms, 50_000, "failure lands at its scheduled log instant");
+    assert_eq!(*node, victim);
+
+    // The replacement joins exactly one single-node start-up later
+    // (Table 5.1 model): no randomness, no wall clock.
+    let startup_ms = ProvisioningModel::paper_calibrated()
+        .startup_time(1)
+        .as_ms();
+    let replaced: Vec<&TelemetryEvent> = snap
+        .events_where(|e| matches!(e, TelemetryEvent::NodeReplaced { .. }))
+        .collect();
+    assert_eq!(replaced.len(), 1);
+    let TelemetryEvent::NodeReplaced { at_ms, .. } = replaced[0] else {
+        unreachable!()
+    };
+    assert_eq!(*at_ms, 50_000 + startup_ms);
+}
+
+#[test]
+fn per_instance_utilization_accounts_for_the_replayed_work() {
+    let mut s = service(2);
+    let report = s.replay([q(0, 0, 2), q(1, 0, 2), q(0, 100, 2)]).unwrap();
+    let snap = &report.telemetry;
+    assert_eq!(snap.instances.len(), 2);
+    let submitted: u64 = snap.instances.iter().map(|i| i.submitted).sum();
+    let completed: u64 = snap.instances.iter().map(|i| i.completed).sum();
+    assert_eq!(submitted, 3);
+    assert_eq!(completed, 3);
+    let busy: u64 = snap.instances.iter().map(|i| i.busy_ms).sum();
+    // Each 2-node query runs 10 s dedicated; three of them with one overlap
+    // still accumulate >= 20 s of busy time across the fleet.
+    assert!(busy >= 20_000, "busy {busy} ms");
+    for i in &snap.instances {
+        assert!(i.utilization >= 0.0 && i.utilization <= 1.0);
+        assert!(i.mean_slowdown >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,85 @@
+//! Seeded fault-injection fuzz driver.
+//!
+//! Runs the randomized cluster- and service-level schedules of
+//! [`thrifty_bench::fuzz`] over a seed range and fails (exit code 1) if any
+//! invariant breaks. CI runs a fixed bounded seed set so regressions in the
+//! failure model fail PRs:
+//!
+//! ```text
+//! cargo run --release -p thrifty-bench --bin fault_fuzz -- --seeds 50
+//! cargo run --release -p thrifty-bench --bin fault_fuzz -- --start 1000 --seeds 200
+//! cargo run --release -p thrifty-bench --bin fault_fuzz -- --seeds 16 --threads 4
+//! ```
+
+use std::process::ExitCode;
+use thrifty_bench::{fuzz, parallel};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fault_fuzz [--seeds N] [--start S] [--threads T]\n\
+         \n\
+         --seeds N    number of consecutive seeds to run (default 50)\n\
+         --start S    first seed of the range (default 0)\n\
+         --threads T  worker threads for the seed sweep (default: auto)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut seeds = 50u64;
+    let mut start = 0u64;
+    let mut threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seeds" => match value("--seeds").parse() {
+                Ok(n) => seeds = n,
+                Err(_) => usage(),
+            },
+            "--start" => match value("--start").parse() {
+                Ok(s) => start = s,
+                Err(_) => usage(),
+            },
+            "--threads" => match value("--threads").parse() {
+                Ok(t) => threads = Some(t),
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    parallel::set_thread_override(threads);
+    let t0 = std::time::Instant::now();
+    let failures = fuzz::run_seed_range(start, seeds);
+    let elapsed = t0.elapsed();
+    parallel::set_thread_override(None);
+
+    if failures.is_empty() {
+        println!(
+            "fault-fuzz: {seeds} seeds ({start}..{}) passed every invariant in {:.2?}",
+            start + seeds,
+            elapsed
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL {f}");
+        }
+        eprintln!(
+            "fault-fuzz: {} invariant violations across {seeds} seeds ({:.2?})",
+            failures.len(),
+            elapsed
+        );
+        ExitCode::FAILURE
+    }
+}

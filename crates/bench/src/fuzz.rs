@@ -1,0 +1,559 @@
+//! Randomized fault-injection invariant harness.
+//!
+//! Degradation, deferred replacement, and the telemetry that reports them
+//! are easy to break silently: a missed `advance` or a dropped completion
+//! check produces wrong latencies, not crashes. This module drives seeded
+//! randomized schedules of submits, node failures, decommissions, and
+//! scale-outs against the simulator ([`fuzz_cluster`]) and the full
+//! service loop ([`fuzz_service`]), checking cluster-wide invariants after
+//! every event batch:
+//!
+//! * **query conservation** — submitted = completed + cancelled + running,
+//!   on the harness ledger *and* on the per-instance stats;
+//! * **node bookkeeping** — free + powered + failed = total, and
+//!   `effective_nodes ≥ 1` on every live instance;
+//! * **repair liveness** — after quiescence the deferred-replacement queue
+//!   and the free pool are never both non-empty;
+//! * **telemetry reconciliation** — counters agree with the retained event
+//!   stream and the SLA records;
+//! * **monotone timestamps** — observable events never step backwards.
+//!
+//! Every schedule is a pure function of its seed, so a failing seed is a
+//! deterministic reproducer. The `fault_fuzz` binary runs a seed range
+//! (CI uses a fixed set); `tests/fault_fuzz.rs` additionally byte-compares
+//! service outcomes across 1 and 4 harness threads.
+
+use mppdb_sim::cluster::{Cluster, ClusterConfig, SimEvent};
+use mppdb_sim::error::SimError;
+use mppdb_sim::failure::FailurePlan;
+use mppdb_sim::instance::{InstanceId, InstanceState};
+use mppdb_sim::node::NodeId;
+use mppdb_sim::query::{QueryId, QuerySpec, QueryTemplate, SimTenantId, TemplateId};
+use mppdb_sim::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use thrifty::prelude::*;
+
+/// Tenants every fuzzed instance hosts (keeps any submit routable).
+const TENANTS: u32 = 3;
+
+/// Deterministic digest of one cluster-level fuzz schedule. Two runs of
+/// the same seed must produce equal outcomes (the driver asserts this via
+/// serialization).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ClusterFuzzOutcome {
+    /// The schedule seed.
+    pub seed: u64,
+    /// Actions executed.
+    pub steps: u32,
+    /// Queries submitted.
+    pub submitted: u64,
+    /// Queries completed.
+    pub completed: u64,
+    /// Queries cancelled (explicitly or by decommission).
+    pub cancelled: u64,
+    /// Node-failure events observed.
+    pub node_failures: u64,
+    /// Replacement joins observed.
+    pub node_replacements: u64,
+    /// Replacement deferrals observed (failure with an empty pool).
+    pub deferrals: u64,
+    /// Replacement retries observed (queue drained after a refill).
+    pub retries: u64,
+    /// Final simulated instant in ms.
+    pub final_now_ms: u64,
+}
+
+/// Ledger + event bookkeeping shared by the invariant checks.
+struct ClusterLedger {
+    seed: u64,
+    submitted: u64,
+    completed: u64,
+    cancelled: u64,
+    node_failures: u64,
+    node_replacements: u64,
+    deferrals: u64,
+    retries: u64,
+    /// Live (instance, query) pairs the harness believes are running.
+    running: Vec<(InstanceId, QueryId)>,
+    /// Largest event timestamp seen so far.
+    last_event_ms: u64,
+}
+
+impl ClusterLedger {
+    fn absorb(&mut self, step: u32, events: &[SimEvent]) -> Result<(), String> {
+        for e in events {
+            let at = e.at().as_ms();
+            if at < self.last_event_ms {
+                return Err(format!(
+                    "seed {} step {step}: event timestamp went backwards \
+                     ({at} ms after {} ms): {e:?}",
+                    self.seed, self.last_event_ms
+                ));
+            }
+            self.last_event_ms = at;
+            match e {
+                SimEvent::QueryCompleted(c) => {
+                    self.completed += 1;
+                    let pos = self
+                        .running
+                        .iter()
+                        .position(|&(i, q)| i == c.instance && q == c.query);
+                    match pos {
+                        Some(p) => {
+                            self.running.swap_remove(p);
+                        }
+                        None => {
+                            return Err(format!(
+                                "seed {} step {step}: completion for untracked query {:?}",
+                                self.seed, c.query
+                            ));
+                        }
+                    }
+                    if c.finished < c.submitted {
+                        return Err(format!(
+                            "seed {} step {step}: query {:?} finished before submission",
+                            self.seed, c.query
+                        ));
+                    }
+                }
+                SimEvent::NodeFailed { .. } => self.node_failures += 1,
+                SimEvent::NodeReplaced { .. } => self.node_replacements += 1,
+                SimEvent::ReplacementDeferred { .. } => self.deferrals += 1,
+                SimEvent::ReplacementRetried { .. } => self.retries += 1,
+                SimEvent::InstanceReady { .. } | SimEvent::TenantLoaded { .. } => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fuzz_template() -> QueryTemplate {
+    QueryTemplate::new(TemplateId(900), 400.0, 0.0)
+}
+
+fn check_cluster_invariants(c: &Cluster, ledger: &ClusterLedger, step: u32) -> Result<(), String> {
+    let seed = ledger.seed;
+    let total = c.config().total_nodes;
+    let accounted = c.free_nodes() + c.powered_nodes() + c.failed_nodes();
+    if accounted != total {
+        return Err(format!(
+            "seed {seed} step {step}: node bookkeeping broke: free {} + powered {} \
+             + failed {} != total {total}",
+            c.free_nodes(),
+            c.powered_nodes(),
+            c.failed_nodes()
+        ));
+    }
+    let mut sim_submitted = 0u64;
+    let mut sim_completed = 0u64;
+    let mut sim_cancelled = 0u64;
+    for inst in c.instances() {
+        let stats = inst.stats();
+        sim_submitted += stats.submitted;
+        sim_completed += stats.completed;
+        sim_cancelled += stats.cancelled;
+        if inst.state() == InstanceState::Decommissioned {
+            continue;
+        }
+        let eff = inst.effective_nodes();
+        if eff < 1 || eff > inst.nodes().len() {
+            return Err(format!(
+                "seed {seed} step {step}: instance {:?} effective_nodes {eff} out of \
+                 [1, {}]",
+                inst.id(),
+                inst.nodes().len()
+            ));
+        }
+        let factor = inst.degradation_factor();
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(format!(
+                "seed {seed} step {step}: instance {:?} degradation factor {factor}",
+                inst.id()
+            ));
+        }
+    }
+    let running = ledger.running.len() as u64;
+    if ledger.submitted != ledger.completed + ledger.cancelled + running {
+        return Err(format!(
+            "seed {seed} step {step}: ledger conservation broke: {} submitted != \
+             {} completed + {} cancelled + {running} running",
+            ledger.submitted, ledger.completed, ledger.cancelled
+        ));
+    }
+    if (sim_submitted, sim_completed, sim_cancelled)
+        != (ledger.submitted, ledger.completed, ledger.cancelled)
+    {
+        return Err(format!(
+            "seed {seed} step {step}: instance stats disagree with the ledger: \
+             sim ({sim_submitted}, {sim_completed}, {sim_cancelled}) != ledger ({}, {}, {})",
+            ledger.submitted, ledger.completed, ledger.cancelled
+        ));
+    }
+    Ok(())
+}
+
+/// Runs one seeded randomized schedule against [`Cluster`] directly and
+/// checks the invariants after every event batch. Returns the outcome
+/// digest, or a message pinpointing the violated invariant.
+pub fn fuzz_cluster(seed: u64) -> Result<ClusterFuzzOutcome, String> {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
+    let total_nodes = rng.gen_range(8usize..20);
+    let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(total_nodes));
+    let hosted: Vec<(SimTenantId, f64)> = (0..TENANTS).map(|t| (SimTenantId(t), 25.0)).collect();
+    let first = c
+        .provision_instance(rng.gen_range(2usize..5), &hosted)
+        .map_err(|e| format!("seed {seed}: initial provision failed: {e}"))?;
+
+    let mut live: Vec<InstanceId> = vec![first];
+    let mut ledger = ClusterLedger {
+        seed,
+        submitted: 0,
+        completed: 0,
+        cancelled: 0,
+        node_failures: 0,
+        node_replacements: 0,
+        deferrals: 0,
+        retries: 0,
+        running: Vec::new(),
+        last_event_ms: 0,
+    };
+    let steps = 70u32;
+    for step in 0..steps {
+        let roll: u32 = rng.gen_range(0u32..100);
+        if roll < 35 {
+            // Advance time, delivering completions / replacements.
+            let dt = rng.gen_range(100u64..20_000);
+            let until = c.now() + SimDuration::from_ms(dt);
+            let events = c.run_until(until);
+            ledger.absorb(step, &events)?;
+            // After a drain the repair queue and the pool are exclusive.
+            if c.deferred_replacements() > 0 && c.free_nodes() > 0 {
+                return Err(format!(
+                    "seed {seed} step {step}: {} deferred replacements while \
+                     {} nodes sit free",
+                    c.deferred_replacements(),
+                    c.free_nodes()
+                ));
+            }
+        } else if roll < 60 {
+            // Submit to a random live instance (skipped while provisioning).
+            if let Some(&target) = pick(&mut rng, &live) {
+                let spec = QuerySpec::new(
+                    fuzz_template(),
+                    rng.gen_range(5.0..60.0),
+                    SimTenantId(rng.gen_range(0u32..TENANTS)),
+                );
+                match c.submit(target, spec) {
+                    Ok(q) => {
+                        ledger.submitted += 1;
+                        ledger.running.push((target, q));
+                    }
+                    Err(SimError::InstanceNotReady(_)) => {}
+                    Err(e) => {
+                        return Err(format!(
+                            "seed {seed} step {step}: unexpected submit error: {e}"
+                        ));
+                    }
+                }
+            }
+        } else if roll < 75 {
+            // Fail a random node (any state; double failures are no-ops).
+            let node = NodeId(rng.gen_range(0u32..total_nodes as u32));
+            let at = c.now() + SimDuration::from_ms(rng.gen_range(0u64..5_000));
+            c.inject_node_failure(node, at)
+                .map_err(|e| format!("seed {seed} step {step}: inject failed: {e}"))?;
+        } else if roll < 85 {
+            // Decommission a live instance (keep at least one alive).
+            if live.len() > 1 {
+                let idx = rng.gen_range(0usize..live.len());
+                let victim = live.swap_remove(idx);
+                let aborted = c
+                    .decommission(victim)
+                    .map_err(|e| format!("seed {seed} step {step}: decommission: {e}"))?;
+                ledger.cancelled += aborted as u64;
+                ledger.running.retain(|&(i, _)| i != victim);
+            }
+        } else if roll < 95 {
+            // Scale out: provision another instance if the pool allows.
+            let want = rng.gen_range(1usize..4);
+            if c.free_nodes() >= want {
+                let id = c
+                    .provision_instance(want, &hosted)
+                    .map_err(|e| format!("seed {seed} step {step}: provision: {e}"))?;
+                live.push(id);
+            }
+        } else {
+            // Cancel a random running query.
+            if !ledger.running.is_empty() {
+                let idx = rng.gen_range(0usize..ledger.running.len());
+                let (inst, q) = ledger.running.swap_remove(idx);
+                c.cancel_query(inst, q)
+                    .map_err(|e| format!("seed {seed} step {step}: cancel: {e}"))?;
+                ledger.cancelled += 1;
+            }
+        }
+        check_cluster_invariants(&c, &ledger, step)?;
+    }
+
+    let events = c.run_to_quiescence();
+    ledger.absorb(steps, &events)?;
+    check_cluster_invariants(&c, &ledger, steps)?;
+    if !ledger.running.is_empty() {
+        return Err(format!(
+            "seed {seed}: {} queries never completed after quiescence",
+            ledger.running.len()
+        ));
+    }
+    if c.deferred_replacements() > 0 && c.free_nodes() > 0 {
+        return Err(format!(
+            "seed {seed}: quiescent cluster left {} deferred replacements with \
+             {} free nodes",
+            c.deferred_replacements(),
+            c.free_nodes()
+        ));
+    }
+    Ok(ClusterFuzzOutcome {
+        seed,
+        steps,
+        submitted: ledger.submitted,
+        completed: ledger.completed,
+        cancelled: ledger.cancelled,
+        node_failures: ledger.node_failures,
+        node_replacements: ledger.node_replacements,
+        deferrals: ledger.deferrals,
+        retries: ledger.retries,
+        final_now_ms: c.now().as_ms(),
+    })
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, items: &'a [T]) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        items.get(rng.gen_range(0usize..items.len()))
+    }
+}
+
+/// Deterministic digest of one service-level fuzz schedule, carrying the
+/// full serialized [`ServiceReport`] so thread-count comparisons are byte
+/// exact.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ServiceFuzzOutcome {
+    /// The schedule seed.
+    pub seed: u64,
+    /// Queries replayed.
+    pub queries: u64,
+    /// Failures injected (before idempotent collapsing).
+    pub failures: u64,
+    /// The telemetry-enabled service report, serialized.
+    pub report_json: String,
+}
+
+/// Runs one seeded randomized schedule through [`ThriftyService`] with
+/// telemetry fully enabled and reconciles counters, events, and SLA
+/// records against each other.
+pub fn fuzz_service(seed: u64) -> Result<ServiceFuzzOutcome, String> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
+    let template = QueryTemplate::new(TemplateId(1), 100.0, 0.0);
+    let members: Vec<Tenant> = (0..TENANTS)
+        .map(|i| Tenant::new(TenantId(i), 2, 200.0))
+        .collect();
+    let a = rng.gen_range(1u32..4);
+    let plan = DeploymentPlan {
+        groups: vec![TenantGroupPlan::new(members, a, 2)],
+    };
+    let mut service = ThriftyService::deploy(
+        &plan,
+        12,
+        [template],
+        ServiceConfig::builder()
+            .elastic_scaling(false)
+            .telemetry(TelemetryConfig::default())
+            .build(),
+    )
+    .map_err(|e| format!("seed {seed}: deploy failed: {e}"))?;
+
+    // Random failure plan on the log timeline, injected before replay.
+    let baseline =
+        SimDuration::from_ms_f64(mppdb_sim::cost::isolated_latency_ms(&template, 200.0, 2));
+    let failures = rng.gen_range(0u64..4);
+    let mut fplan = FailurePlan::none();
+    for _ in 0..failures {
+        fplan = fplan.fail_at(
+            NodeId(rng.gen_range(0u32..12)),
+            SimTime::from_secs(rng.gen_range(0u64..3_000)),
+        );
+    }
+    service
+        .apply_failure_plan(&fplan)
+        .map_err(|e| format!("seed {seed}: failure plan rejected: {e}"))?;
+
+    let n = rng.gen_range(20u64..60);
+    let mut queries: Vec<IncomingQuery> = (0..n)
+        .map(|_| IncomingQuery {
+            tenant: TenantId(rng.gen_range(0u32..TENANTS)),
+            submit: SimTime::from_secs(rng.gen_range(0u64..3_600)),
+            template: template.id,
+            baseline,
+        })
+        .collect();
+    queries.sort_by_key(|q| (q.submit, q.tenant));
+    let report = service
+        .replay(queries)
+        .map_err(|e| format!("seed {seed}: replay failed: {e}"))?;
+
+    check_service_report(seed, n, &report)?;
+    let report_json = serde_json::to_string(&report)
+        .map_err(|e| format!("seed {seed}: report serialization failed: {e}"))?;
+    Ok(ServiceFuzzOutcome {
+        seed,
+        queries: n,
+        failures,
+        report_json,
+    })
+}
+
+/// Telemetry-reconciliation invariants over a drained service report.
+fn check_service_report(seed: u64, n: u64, report: &ServiceReport) -> Result<(), String> {
+    let t = &report.telemetry;
+    if !t.enabled {
+        return Err(format!("seed {seed}: telemetry unexpectedly disabled"));
+    }
+    if t.dropped_events != 0 {
+        return Err(format!(
+            "seed {seed}: {} events dropped; reconciliation needs the full stream",
+            t.dropped_events
+        ));
+    }
+    let submitted = t.counter("queries.submitted");
+    let completed = t.counter("queries.completed");
+    let cancelled = t.counter("queries.cancelled");
+    if submitted != n {
+        return Err(format!(
+            "seed {seed}: {submitted} submissions counted for {n} replayed queries"
+        ));
+    }
+    if submitted != completed + cancelled {
+        return Err(format!(
+            "seed {seed}: conservation broke: {submitted} submitted != \
+             {completed} completed + {cancelled} cancelled after drain"
+        ));
+    }
+    if report.records.len() as u64 != completed {
+        return Err(format!(
+            "seed {seed}: {} SLA records for {completed} counted completions",
+            report.records.len()
+        ));
+    }
+    if t.counter("sla.met") + t.counter("sla.violated") != completed {
+        return Err(format!(
+            "seed {seed}: SLA verdict counters do not add up to {completed}"
+        ));
+    }
+    // Counters must agree with the retained event stream.
+    let count = |pred: fn(&TelemetryEvent) -> bool| t.events_where(pred).count() as u64;
+    let pairs: [(&str, u64); 6] = [
+        (
+            "queries.submitted",
+            count(|e| matches!(e, TelemetryEvent::QuerySubmitted { .. })),
+        ),
+        (
+            "queries.completed",
+            count(|e| matches!(e, TelemetryEvent::QueryCompleted { .. })),
+        ),
+        (
+            "nodes.failed",
+            count(|e| matches!(e, TelemetryEvent::NodeFailed { .. })),
+        ),
+        (
+            "nodes.replaced",
+            count(|e| matches!(e, TelemetryEvent::NodeReplaced { .. })),
+        ),
+        (
+            "nodes.replacement_deferred",
+            count(|e| matches!(e, TelemetryEvent::ReplacementDeferred { .. })),
+        ),
+        (
+            "nodes.replacement_retried",
+            count(|e| matches!(e, TelemetryEvent::ReplacementRetried { .. })),
+        ),
+    ];
+    for (name, from_events) in pairs {
+        if t.counter(name) != from_events {
+            return Err(format!(
+                "seed {seed}: counter {name} = {} but the event stream holds \
+                 {from_events}",
+                t.counter(name)
+            ));
+        }
+    }
+    // Event timestamps never step backwards.
+    let mut last = 0u64;
+    for e in &t.events {
+        let at = e.at_ms();
+        if at < last {
+            return Err(format!(
+                "seed {seed}: event timestamp went backwards ({at} ms after {last} ms): \
+                 {e:?}"
+            ));
+        }
+        last = at;
+    }
+    // Degraded time only accrues when failures actually landed.
+    let failed_events = count(|e| matches!(e, TelemetryEvent::NodeFailed { .. }));
+    for inst in &t.instances {
+        if failed_events == 0 && inst.degraded_ms != 0 {
+            return Err(format!(
+                "seed {seed}: instance {:?} reports {} degraded ms without any \
+                 node failure",
+                inst.instance, inst.degraded_ms
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs `fuzz_cluster` and `fuzz_service` for every seed in
+/// `start..start + count`, returning the failure messages (empty = pass).
+pub fn run_seed_range(start: u64, count: u64) -> Vec<String> {
+    let seeds: Vec<u64> = (start..start + count).collect();
+    let results = crate::parallel::par_map("fuzz:seeds", &seeds, |&seed| {
+        let mut errors = Vec::new();
+        if let Err(e) = fuzz_cluster(seed) {
+            errors.push(format!("cluster fuzz: {e}"));
+        }
+        if let Err(e) = fuzz_service(seed) {
+            errors.push(format!("service fuzz: {e}"));
+        }
+        errors
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_fuzz_is_deterministic_per_seed() {
+        let a = fuzz_cluster(7).unwrap();
+        let b = fuzz_cluster(7).unwrap();
+        assert_eq!(a, b);
+        assert!(a.submitted > 0, "the schedule must exercise submissions");
+    }
+
+    #[test]
+    fn service_fuzz_is_deterministic_per_seed() {
+        let a = fuzz_service(3).unwrap();
+        let b = fuzz_service(3).unwrap();
+        assert_eq!(a.report_json, b.report_json);
+    }
+
+    #[test]
+    fn a_small_seed_range_holds_every_invariant() {
+        let failures = run_seed_range(0, 8);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+}

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod fuzz;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;

@@ -57,6 +57,11 @@ pub struct QueryRouter {
     /// `running[j][tenant]` = number of that tenant's queries currently
     /// executing on MPPDB `j`.
     running: Vec<HashMap<TenantId, u32>>,
+    /// Per-tenant total across all MPPDBs, maintained incrementally so the
+    /// per-submit hot path never rescans `running`.
+    tenant_totals: HashMap<TenantId, u32>,
+    /// Number of distinct tenants with at least one running query.
+    distinct_active: usize,
 }
 
 impl QueryRouter {
@@ -68,6 +73,8 @@ impl QueryRouter {
         assert!(a >= 1, "a tenant-group has at least one MPPDB");
         QueryRouter {
             running: vec![HashMap::new(); a],
+            tenant_totals: HashMap::new(),
+            distinct_active: 0,
         }
     }
 
@@ -90,16 +97,10 @@ impl QueryRouter {
     }
 
     /// Number of distinct tenants with at least one running query in the
-    /// group — the group's concurrent-active count.
+    /// group — the group's concurrent-active count. O(1): maintained
+    /// incrementally by [`QueryRouter::route`] / [`QueryRouter::complete`].
     pub fn active_tenants(&self) -> usize {
-        let mut seen: Vec<TenantId> = self
-            .running
-            .iter()
-            .flat_map(|m| m.keys().copied())
-            .collect();
-        seen.sort_unstable();
-        seen.dedup();
-        seen.len()
+        self.distinct_active
     }
 
     /// Routes a query per Algorithm 1 and records it as running on the
@@ -107,6 +108,11 @@ impl QueryRouter {
     pub fn route(&mut self, tenant: TenantId) -> Route {
         let decision = self.peek_route(tenant);
         *self.running[decision.mppdb].entry(tenant).or_insert(0) += 1;
+        let total = self.tenant_totals.entry(tenant).or_insert(0);
+        if *total == 0 {
+            self.distinct_active += 1;
+        }
+        *total += 1;
         decision
     }
 
@@ -152,6 +158,15 @@ impl QueryRouter {
         *count -= 1;
         if *count == 0 {
             self.running[j].remove(&tenant);
+        }
+        let total = self
+            .tenant_totals
+            .get_mut(&tenant)
+            .expect("tenant_totals tracks every running query");
+        *total -= 1;
+        if *total == 0 {
+            self.tenant_totals.remove(&tenant);
+            self.distinct_active -= 1;
         }
     }
 }
@@ -255,6 +270,30 @@ mod tests {
     fn completing_unknown_query_panics() {
         let mut r = QueryRouter::new(2);
         r.complete(0, T1);
+    }
+
+    #[test]
+    fn active_count_stays_consistent_with_a_recount() {
+        // The incremental distinct-active count must agree with a from-
+        // scratch recount of the bookkeeping after every operation.
+        let recount = |r: &QueryRouter| {
+            let mut seen: Vec<TenantId> =
+                r.running.iter().flat_map(|m| m.keys().copied()).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            seen.len()
+        };
+        let mut r = QueryRouter::new(2);
+        let mut placed: Vec<(MppdbIndex, TenantId)> = Vec::new();
+        for t in [T1, T2, T4, T1, T9, T2, T1] {
+            placed.push((r.route(t).mppdb, t));
+            assert_eq!(r.active_tenants(), recount(&r));
+        }
+        while let Some((j, t)) = placed.pop() {
+            r.complete(j, t);
+            assert_eq!(r.active_tenants(), recount(&r));
+        }
+        assert_eq!(r.active_tenants(), 0);
     }
 
     #[test]

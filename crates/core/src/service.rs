@@ -344,6 +344,8 @@ impl ThriftyService {
                 "tenants.migrated",
                 "nodes.failed",
                 "nodes.replaced",
+                "nodes.replacement_deferred",
+                "nodes.replacement_retried",
                 "instances.provisioned",
             ] {
                 telemetry.incr_by(name, 0);
@@ -656,6 +658,30 @@ impl ThriftyService {
                         self.telemetry.incr("nodes.replaced");
                         let at_ms = self.log_ms(at.as_ms());
                         self.telemetry.record(TelemetryEvent::NodeReplaced {
+                            at_ms,
+                            instance,
+                            node,
+                        });
+                    }
+                }
+                SimEvent::ReplacementDeferred { instance, node, at } => {
+                    // No spare was available; the instance runs degraded
+                    // until the pool refills and the retry fires.
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.incr("nodes.replacement_deferred");
+                        let at_ms = self.log_ms(at.as_ms());
+                        self.telemetry.record(TelemetryEvent::ReplacementDeferred {
+                            at_ms,
+                            instance,
+                            node,
+                        });
+                    }
+                }
+                SimEvent::ReplacementRetried { instance, node, at } => {
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.incr("nodes.replacement_retried");
+                        let at_ms = self.log_ms(at.as_ms());
+                        self.telemetry.record(TelemetryEvent::ReplacementRetried {
                             at_ms,
                             instance,
                             node,

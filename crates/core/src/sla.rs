@@ -96,23 +96,41 @@ impl SlaRecord {
 }
 
 /// Aggregate SLA compliance over a set of records.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct SlaSummary {
     /// Total queries.
     pub total: usize,
     /// Queries that met the SLA.
     pub met: usize,
-    /// Worst normalized performance observed.
+    /// Worst (largest) normalized performance observed — the true maximum,
+    /// which may be below 1.0 when every query beat its baseline. For an
+    /// empty record set the convention is 1.0 ("no slowdown observed").
     pub worst_normalized: f64,
+}
+
+/// `Default` is the empty summary and agrees with
+/// [`SlaSummary::from_records`] on an empty slice.
+impl Default for SlaSummary {
+    fn default() -> Self {
+        SlaSummary::from_records(&[])
+    }
 }
 
 impl SlaSummary {
     /// Summarizes a slice of records.
     pub fn from_records(records: &[SlaRecord]) -> Self {
+        let worst_normalized = records
+            .iter()
+            .map(|r| r.normalized)
+            .fold(f64::NEG_INFINITY, f64::max);
         SlaSummary {
             total: records.len(),
             met: records.iter().filter(|r| r.met).count(),
-            worst_normalized: records.iter().map(|r| r.normalized).fold(1.0, f64::max),
+            worst_normalized: if records.is_empty() {
+                1.0
+            } else {
+                worst_normalized
+            },
         }
     }
 
@@ -176,5 +194,24 @@ mod tests {
     fn empty_summary_is_compliant() {
         let s = SlaSummary::from_records(&[]);
         assert_eq!(s.compliance(), 1.0);
+        assert_eq!(s.worst_normalized, 1.0);
+    }
+
+    #[test]
+    fn default_matches_the_empty_summary() {
+        let d = SlaSummary::default();
+        let e = SlaSummary::from_records(&[]);
+        assert_eq!(d.total, e.total);
+        assert_eq!(d.met, e.met);
+        assert_eq!(d.worst_normalized, e.worst_normalized);
+    }
+
+    #[test]
+    fn worst_normalized_is_the_true_max_even_below_one() {
+        // Every query beat its baseline: the worst must report the actual
+        // maximum (0.9), not clamp to 1.0.
+        let records = vec![record(500, 1_000), record(900, 1_000)];
+        let s = SlaSummary::from_records(&records);
+        assert!((s.worst_normalized - 0.9).abs() < 1e-12);
     }
 }

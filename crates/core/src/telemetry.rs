@@ -397,6 +397,27 @@ pub enum TelemetryEvent {
         /// The replacement node.
         node: NodeId,
     },
+    /// A node failed while the free pool was empty: the replacement is
+    /// queued until nodes return to the pool, and the instance runs
+    /// degraded in the meantime.
+    ReplacementDeferred {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The degraded instance awaiting a spare.
+        instance: InstanceId,
+        /// The failed node still awaiting replacement.
+        node: NodeId,
+    },
+    /// A queued (or interrupted) replacement was re-attempted: a spare
+    /// began starting up for the degraded instance.
+    ReplacementRetried {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The instance being repaired.
+        instance: InstanceId,
+        /// The spare node now starting as the replacement.
+        node: NodeId,
+    },
     /// Elastic scaling moved a tenant to a scale-out group.
     TenantMigrated {
         /// Log-time instant in ms.
@@ -424,6 +445,8 @@ impl TelemetryEvent {
             | TelemetryEvent::InstanceDecommissioned { at_ms, .. }
             | TelemetryEvent::NodeFailed { at_ms, .. }
             | TelemetryEvent::NodeReplaced { at_ms, .. }
+            | TelemetryEvent::ReplacementDeferred { at_ms, .. }
+            | TelemetryEvent::ReplacementRetried { at_ms, .. }
             | TelemetryEvent::TenantMigrated { at_ms, .. } => at_ms,
         }
     }
@@ -458,6 +481,9 @@ pub struct InstanceUtilization {
     pub mean_slowdown: f64,
     /// Worst slowdown vs dedicated execution.
     pub max_slowdown: f64,
+    /// Simulated ms spent in degraded mode (at least one failed node
+    /// awaiting replacement), up to the snapshot instant.
+    pub degraded_ms: u64,
 }
 
 impl InstanceUtilization {
@@ -484,6 +510,7 @@ impl InstanceUtilization {
             cancelled: stats.cancelled,
             mean_slowdown: stats.mean_slowdown(),
             max_slowdown: stats.slowdown_max,
+            degraded_ms: inst.degraded_ms_at(now),
         }
     }
 }

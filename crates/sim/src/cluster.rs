@@ -17,7 +17,7 @@ use crate::query::{QueryId, QuerySpec, SimTenantId, TemplateId};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Static cluster configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -121,6 +121,27 @@ pub enum SimEvent {
         /// When the replacement became active.
         at: SimTime,
     },
+    /// A node failed while the free pool was empty: no replacement could be
+    /// started. The repair is queued and retried whenever the pool refills
+    /// (e.g. after a decommission returns nodes).
+    ReplacementDeferred {
+        /// The degraded instance awaiting a spare.
+        instance: InstanceId,
+        /// The failed node still awaiting replacement.
+        node: NodeId,
+        /// When the deferral happened.
+        at: SimTime,
+    },
+    /// A previously deferred (or interrupted) replacement was re-attempted:
+    /// a spare node began starting up for the degraded instance.
+    ReplacementRetried {
+        /// The instance being repaired.
+        instance: InstanceId,
+        /// The spare node now starting as the replacement.
+        node: NodeId,
+        /// When the retry was scheduled.
+        at: SimTime,
+    },
 }
 
 impl SimEvent {
@@ -130,7 +151,9 @@ impl SimEvent {
             SimEvent::InstanceReady { at, .. }
             | SimEvent::TenantLoaded { at, .. }
             | SimEvent::NodeFailed { at, .. }
-            | SimEvent::NodeReplaced { at, .. } => *at,
+            | SimEvent::NodeReplaced { at, .. }
+            | SimEvent::ReplacementDeferred { at, .. }
+            | SimEvent::ReplacementRetried { at, .. } => *at,
             SimEvent::QueryCompleted(c) => c.finished,
         }
     }
@@ -154,6 +177,9 @@ enum PendingKind {
         failed: NodeId,
         replacement: NodeId,
     },
+    /// Drain the deferred-replacement queue against the free pool. Pushed
+    /// at the current instant whenever the pool gains nodes.
+    DeferredReplacementRetry,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -175,6 +201,9 @@ pub struct Cluster {
     heap: BinaryHeap<Reverse<Pending>>,
     seq: u64,
     next_query: u64,
+    /// Failures that found the free pool empty: `(instance, failed node)`
+    /// pairs awaiting a spare, drained FIFO whenever the pool refills.
+    deferred: VecDeque<(InstanceId, NodeId)>,
 }
 
 impl Cluster {
@@ -194,6 +223,7 @@ impl Cluster {
             heap: BinaryHeap::new(),
             seq: 0,
             next_query: 0,
+            deferred: VecDeque::new(),
         }
     }
 
@@ -210,6 +240,19 @@ impl Cluster {
     /// Number of hibernated nodes available for provisioning.
     pub fn free_nodes(&self) -> usize {
         self.free.len()
+    }
+
+    /// Number of nodes currently in the failed state.
+    pub fn failed_nodes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.state() == NodeState::Failed)
+            .count()
+    }
+
+    /// Number of node replacements waiting for the free pool to refill.
+    pub fn deferred_replacements(&self) -> usize {
+        self.deferred.len()
     }
 
     /// Number of nodes currently powered (starting or running).
@@ -297,20 +340,29 @@ impl Cluster {
     /// Decommissions an instance, returning its nodes to the hibernated
     /// pool. Any running queries are aborted; their count is returned.
     pub fn decommission(&mut self, id: InstanceId) -> SimResult<usize> {
+        let now = self.now;
         let inst = self.instance_mut(id)?;
         if inst.state() == InstanceState::Decommissioned {
             return Err(SimError::InstanceDecommissioned(id));
         }
+        inst.advance(now); // settle busy/degraded accounting up to now
         inst.set_state(InstanceState::Decommissioned);
         inst.version += 1; // invalidate pending completion checks
         let aborted = inst.drain_running().len();
         inst.stats.cancelled += aborted as u64;
         let nodes: Vec<NodeId> = inst.nodes().to_vec();
+        let mut freed = false;
         for n in nodes {
             if self.nodes[n.0 as usize].state() != NodeState::Failed {
                 self.nodes[n.0 as usize].set_state(NodeState::Hibernated);
                 self.free.push(n);
+                freed = true;
             }
+        }
+        if freed && !self.deferred.is_empty() {
+            // The pool just refilled: retry queued replacements. Going
+            // through the heap keeps all event emission inside `process`.
+            self.push_event(now, PendingKind::DeferredReplacementRetry);
         }
         Ok(aborted)
     }
@@ -335,14 +387,18 @@ impl Cluster {
                 tenant: spec.tenant,
             });
         }
-        let dedicated_ms =
-            isolated_latency_ms(&spec.template, spec.data_gb, inst.effective_nodes());
+        // Work is bookkept at full parallelism and paid down at the
+        // instance's degradation factor, so a failure (or recovery) mid-query
+        // changes the rate without rewriting `remaining_ms`. The dedicated
+        // baseline reflects the degraded rate at submission time.
+        let work_ms = isolated_latency_ms(&spec.template, spec.data_gb, inst.nodes().len());
+        let dedicated_ms = work_ms / inst.degradation_factor();
         inst.advance(now);
         inst.push_running(RunningQuery {
             id,
             spec,
             submitted: now,
-            remaining_ms: dedicated_ms,
+            remaining_ms: work_ms,
             dedicated_ms,
         });
         inst.version += 1;
@@ -555,10 +611,34 @@ impl Cluster {
                         i.state() != InstanceState::Decommissioned && i.nodes().contains(&node)
                     })
                     .map(MppdbInstance::id);
+                out.push(SimEvent::NodeFailed {
+                    node,
+                    instance: owner,
+                    at: p.at,
+                });
                 if let Some(owner_id) = owner {
-                    self.instances[owner_id.0 as usize].mark_node_failed();
+                    let now = p.at;
+                    let inst = &mut self.instances[owner_id.0 as usize];
+                    // Settle progress at the healthy rate, then degrade: every
+                    // in-flight query slows to effective/total from this
+                    // instant, so the pending completion check is stale.
+                    inst.advance(now);
+                    inst.mark_node_failed();
+                    inst.version += 1;
+                    let version = inst.version;
+                    let next_check = inst.next_completion_time(now);
+                    if let Some(at) = next_check {
+                        self.push_event(
+                            at,
+                            PendingKind::CompletionCheck {
+                                instance: owner_id,
+                                version,
+                            },
+                        );
+                    }
                     // Thrifty replaces a failed node by starting a fresh one
-                    // (Chapter 4.4), if the pool has one.
+                    // (Chapter 4.4). With the pool empty the repair is queued
+                    // and retried once nodes return (e.g. decommission).
                     if let Some(replacement) = self.free.pop() {
                         self.nodes[replacement.0 as usize].set_state(NodeState::Starting);
                         let ready = p.at + self.config.provisioning.startup_time(1);
@@ -570,32 +650,107 @@ impl Cluster {
                                 replacement,
                             },
                         );
+                    } else {
+                        self.deferred.push_back((owner_id, node));
+                        out.push(SimEvent::ReplacementDeferred {
+                            instance: owner_id,
+                            node,
+                            at: p.at,
+                        });
                     }
                 }
-                out.push(SimEvent::NodeFailed {
-                    node,
-                    instance: owner,
-                    at: p.at,
-                });
             }
             PendingKind::NodeReplacement {
                 instance,
                 failed,
                 replacement,
             } => {
-                let inst = &mut self.instances[instance.0 as usize];
-                if inst.state() == InstanceState::Decommissioned {
-                    self.nodes[replacement.0 as usize].set_state(NodeState::Hibernated);
-                    self.free.push(replacement);
+                let now = p.at;
+                // The replacement itself may have been killed while starting.
+                let replacement_ok =
+                    self.nodes[replacement.0 as usize].state() != NodeState::Failed;
+                if self.instances[instance.0 as usize].state() == InstanceState::Decommissioned {
+                    if replacement_ok {
+                        self.nodes[replacement.0 as usize].set_state(NodeState::Hibernated);
+                        self.free.push(replacement);
+                        if !self.deferred.is_empty() {
+                            self.push_event(now, PendingKind::DeferredReplacementRetry);
+                        }
+                    }
+                    return;
+                }
+                if !replacement_ok {
+                    // Start over with another spare — or queue if none left.
+                    if let Some(next) = self.free.pop() {
+                        self.nodes[next.0 as usize].set_state(NodeState::Starting);
+                        let ready = now + self.config.provisioning.startup_time(1);
+                        self.push_event(
+                            ready,
+                            PendingKind::NodeReplacement {
+                                instance,
+                                failed,
+                                replacement: next,
+                            },
+                        );
+                        out.push(SimEvent::ReplacementRetried {
+                            instance,
+                            node: next,
+                            at: now,
+                        });
+                    } else {
+                        self.deferred.push_back((instance, failed));
+                        out.push(SimEvent::ReplacementDeferred {
+                            instance,
+                            node: failed,
+                            at: now,
+                        });
+                    }
                     return;
                 }
                 self.nodes[replacement.0 as usize].set_state(NodeState::Running);
+                let inst = &mut self.instances[instance.0 as usize];
+                // Settle progress at the degraded rate, then restore
+                // parallelism: in-flight queries speed back up from here.
+                inst.advance(now);
                 inst.replace_failed_node(failed, replacement);
+                inst.version += 1;
+                let version = inst.version;
+                let next_check = inst.next_completion_time(now);
+                if let Some(at) = next_check {
+                    self.push_event(at, PendingKind::CompletionCheck { instance, version });
+                }
                 out.push(SimEvent::NodeReplaced {
                     instance,
                     node: replacement,
                     at: p.at,
                 });
+            }
+            PendingKind::DeferredReplacementRetry => {
+                while !self.deferred.is_empty() && !self.free.is_empty() {
+                    let (instance, failed) = self.deferred.pop_front().expect("checked");
+                    let inst = &self.instances[instance.0 as usize];
+                    if inst.state() == InstanceState::Decommissioned
+                        || inst.failed_node_count() == 0
+                    {
+                        continue; // stale entry: nothing left to repair
+                    }
+                    let replacement = self.free.pop().expect("checked");
+                    self.nodes[replacement.0 as usize].set_state(NodeState::Starting);
+                    let ready = p.at + self.config.provisioning.startup_time(1);
+                    self.push_event(
+                        ready,
+                        PendingKind::NodeReplacement {
+                            instance,
+                            failed,
+                            replacement,
+                        },
+                    );
+                    out.push(SimEvent::ReplacementRetried {
+                        instance,
+                        node: replacement,
+                        at: p.at,
+                    });
+                }
             }
         }
     }
@@ -780,14 +935,149 @@ mod tests {
     }
 
     #[test]
-    fn failure_without_spare_leaves_instance_degraded() {
+    fn failure_without_spare_defers_the_replacement() {
         let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(4));
         let id = c.provision_instance(4, &[(SimTenantId(0), 100.0)]).unwrap();
         let victim = c.instance(id).unwrap().nodes()[2];
         c.inject_node_failure(victim, SimTime::from_secs(1))
             .unwrap();
-        c.run_to_quiescence();
+        let events = c.run_to_quiescence();
         assert_eq!(c.instance(id).unwrap().effective_nodes(), 3);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                SimEvent::ReplacementDeferred { instance, node, .. }
+                    if *instance == id && *node == victim
+            )),
+            "an empty pool must surface the deferral: {events:?}"
+        );
+        assert_eq!(c.deferred_replacements(), 1);
+    }
+
+    #[test]
+    fn mid_query_failure_slows_the_query_in_flight() {
+        // A solo 15 s query loses one of four nodes halfway through. The
+        // remaining 7.5 s of full-parallelism work is paid down at 3/4
+        // speed (10 s of wall time): latency 17.5 s — strictly between the
+        // healthy 15 s and the fully degraded 20 s.
+        let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(4));
+        let id = c.provision_instance(4, &[(SimTenantId(0), 100.0)]).unwrap();
+        c.submit(id, QuerySpec::new(linear_template(), 100.0, SimTenantId(0)))
+            .unwrap();
+        let victim = c.instance(id).unwrap().nodes()[0];
+        c.inject_node_failure(victim, SimTime::from_ms(7_500))
+            .unwrap();
+        let events = c.run_to_quiescence();
+        let comp = events
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::QueryCompleted(comp) => Some(*comp),
+                _ => None,
+            })
+            .expect("the query must still complete");
+        assert_eq!(comp.latency, SimDuration::from_ms(17_500));
+        assert_eq!(comp.dedicated_latency, SimDuration::from_ms(15_000));
+        assert_eq!(c.instance(id).unwrap().stats().degraded_ms, 10_000);
+    }
+
+    #[test]
+    fn replacement_speeds_the_query_back_up() {
+        // Same mid-flight failure, but a spare exists and joins 2 s later:
+        // 7.5 s healthy + 2 s at 3/4 speed (1.5 s of work) + 6 s healthy
+        // = 15.5 s latency.
+        let provisioning = ProvisioningModel {
+            startup_base_secs: 0.0,
+            startup_secs_per_node: 2.0,
+            load_base_secs: 0.0,
+            load_secs_per_gb: 0.0,
+        };
+        let mut c = Cluster::new(ClusterConfig {
+            total_nodes: 5,
+            provisioning,
+        });
+        let id = c.provision_instance(4, &[(SimTenantId(0), 100.0)]).unwrap();
+        c.run_to_quiescence();
+        let t0 = c.now();
+        c.submit(id, QuerySpec::new(linear_template(), 100.0, SimTenantId(0)))
+            .unwrap();
+        let victim = c.instance(id).unwrap().nodes()[0];
+        c.inject_node_failure(victim, t0 + SimDuration::from_ms(7_500))
+            .unwrap();
+        let events = c.run_to_quiescence();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SimEvent::NodeReplaced { instance, .. } if *instance == id)));
+        let comp = events
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::QueryCompleted(comp) => Some(*comp),
+                _ => None,
+            })
+            .expect("the query must complete");
+        assert_eq!(comp.latency, SimDuration::from_ms(15_500));
+        assert_eq!(c.instance(id).unwrap().effective_nodes(), 4);
+        assert_eq!(c.instance(id).unwrap().stats().degraded_ms, 2_000);
+    }
+
+    #[test]
+    fn deferred_replacement_drains_when_the_pool_refills() {
+        let mut c = Cluster::new(ClusterConfig::with_instant_provisioning(6));
+        let a = c.provision_instance(4, &[(SimTenantId(0), 100.0)]).unwrap();
+        let b = c.provision_instance(2, &[(SimTenantId(1), 50.0)]).unwrap();
+        assert_eq!(c.free_nodes(), 0);
+        let victim = c.instance(a).unwrap().nodes()[1];
+        c.inject_node_failure(victim, SimTime::from_secs(1))
+            .unwrap();
+        c.run_until(SimTime::from_secs(2));
+        assert_eq!(c.instance(a).unwrap().effective_nodes(), 3);
+        assert_eq!(c.deferred_replacements(), 1);
+        // Decommissioning B returns nodes to the pool; the queued repair
+        // must now run (instantly, under the instant provisioning model).
+        c.decommission(b).unwrap();
+        let events = c.run_to_quiescence();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SimEvent::ReplacementRetried { instance, .. } if *instance == a)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SimEvent::NodeReplaced { instance, .. } if *instance == a)));
+        assert_eq!(c.instance(a).unwrap().effective_nodes(), 4);
+        assert_eq!(c.deferred_replacements(), 0);
+    }
+
+    #[test]
+    fn failed_starting_replacement_is_not_resurrected() {
+        // The first replacement dies while still starting; the cluster must
+        // notice at join time and start a second spare instead of waving the
+        // dead node through.
+        let provisioning = ProvisioningModel {
+            startup_base_secs: 0.0,
+            startup_secs_per_node: 60.0,
+            load_base_secs: 0.0,
+            load_secs_per_gb: 0.0,
+        };
+        let mut c = Cluster::new(ClusterConfig {
+            total_nodes: 6,
+            provisioning,
+        });
+        let id = c.provision_instance(4, &[(SimTenantId(0), 100.0)]).unwrap();
+        c.run_to_quiescence();
+        let victim = c.instance(id).unwrap().nodes()[0];
+        c.inject_node_failure(victim, SimTime::from_secs(300))
+            .unwrap();
+        // First replacement (node 4) starts at t=300, would join at t=360;
+        // kill it at t=330 while it is still starting.
+        c.inject_node_failure(NodeId(4), SimTime::from_secs(330))
+            .unwrap();
+        let events = c.run_to_quiescence();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SimEvent::ReplacementRetried { instance, node, .. }
+                if *instance == id && *node == NodeId(5)
+        )));
+        assert_eq!(c.instance(id).unwrap().effective_nodes(), 4);
+        assert_eq!(c.failed_nodes(), 2);
+        assert!(!c.instance(id).unwrap().nodes().contains(&NodeId(4)));
     }
 
     #[test]

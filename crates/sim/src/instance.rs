@@ -8,6 +8,13 @@
 //! `xT-CON` measurements of Figure 1.1a: two concurrent Q1 instances finish
 //! 2× slower, four finish 4× slower, while sequential submissions (`xT-SEQ`)
 //! are unaffected.
+//!
+//! Node failures degrade the whole discipline (Chapter 4.4): an instance
+//! with failed nodes awaiting replacement delivers only
+//! `effective_nodes / nodes` of its aggregate throughput, so every query —
+//! including those already in flight — slows down the instant a node dies
+//! and speeds back up when the replacement joins. Progress is bookkept as
+//! *full-parallelism* work paid down at the current degradation factor.
 
 use crate::node::NodeId;
 use crate::query::{QueryId, QuerySpec, SimTenantId};
@@ -46,9 +53,12 @@ pub(crate) struct RunningQuery {
     pub id: QueryId,
     pub spec: QuerySpec,
     pub submitted: SimTime,
-    /// Dedicated-execution milliseconds still owed to this query.
+    /// Milliseconds of *full-parallelism dedicated* work still owed to this
+    /// query. Degradation never rewrites this figure; it slows the rate at
+    /// which [`MppdbInstance::advance`] pays it down.
     pub remaining_ms: f64,
-    /// Total dedicated latency on this instance at submission time.
+    /// Dedicated latency on this instance at submission time, at the
+    /// degradation level in effect then (the slowdown baseline).
     pub dedicated_ms: f64,
 }
 
@@ -75,6 +85,10 @@ pub struct InstanceStats {
     pub cancelled: u64,
     /// Highest concurrency ever observed.
     pub max_concurrency: u32,
+    /// Simulated ms spent degraded (at least one failed node awaiting
+    /// replacement), accrued as of the last processor-sharing advance; use
+    /// [`MppdbInstance::degraded_ms_at`] for an up-to-the-instant figure.
+    pub degraded_ms: u64,
     /// Sum over completed queries of `achieved / dedicated` latency.
     pub slowdown_sum: f64,
     /// Worst `achieved / dedicated` ratio among completed queries.
@@ -167,6 +181,31 @@ impl MppdbInstance {
         self.nodes.len().saturating_sub(self.failed_nodes).max(1)
     }
 
+    /// Number of failed nodes currently awaiting replacement.
+    pub fn failed_node_count(&self) -> usize {
+        self.failed_nodes
+    }
+
+    /// Fraction of the instance's full-parallelism throughput currently
+    /// delivered: `effective_nodes / nodes` (1.0 when healthy, never 0).
+    /// Analytical queries are I/O bound, so losing a node removes exactly
+    /// that node's share of aggregate scan bandwidth.
+    pub fn degradation_factor(&self) -> f64 {
+        self.effective_nodes() as f64 / self.nodes.len() as f64
+    }
+
+    /// Degraded-mode time accrued by `now`, including the span since the
+    /// last processor-sharing advance if the instance is degraded right
+    /// now. A decommissioned instance stops accruing (its accounting was
+    /// settled at decommission time).
+    pub fn degraded_ms_at(&self, now: SimTime) -> u64 {
+        let mut total = self.stats.degraded_ms;
+        if self.failed_nodes > 0 && self.state != InstanceState::Decommissioned {
+            total += now.saturating_since(self.last_advance).as_ms();
+        }
+        total
+    }
+
     /// Current lifecycle state.
     pub fn state(&self) -> InstanceState {
         self.state
@@ -228,25 +267,36 @@ impl MppdbInstance {
     }
 
     /// Advances the processor-sharing clock to `now`, decrementing each
-    /// running query's remaining dedicated work by `dt / k`.
+    /// running query's remaining dedicated work by `dt · factor / k`, where
+    /// `factor` is the [degradation factor](Self::degradation_factor). The
+    /// caller is responsible for invoking this *before* any change to the
+    /// failed-node count, so the elapsed span is charged at the rate that
+    /// actually applied to it.
     pub(crate) fn advance(&mut self, now: SimTime) {
         let dt = now.saturating_since(self.last_advance).as_ms();
-        let dt_ms = dt as f64;
         self.last_advance = now;
+        if dt == 0 {
+            return;
+        }
+        if self.failed_nodes > 0 {
+            self.stats.degraded_ms += dt;
+        }
         let k = self.running.len();
-        if k == 0 || dt_ms == 0.0 {
+        if k == 0 {
             return;
         }
         self.stats.busy_ms += dt;
         self.stats.concurrency_ms += dt * k as u64;
-        let share = dt_ms / k as f64;
+        let share = dt as f64 * self.degradation_factor() / k as f64;
         for q in &mut self.running {
             q.remaining_ms = (q.remaining_ms - share).max(0.0);
         }
     }
 
     /// The virtual instant at which the next running query completes, given
-    /// no further arrivals. Must be called right after [`Self::advance`].
+    /// no further arrivals *and no degradation change*. Must be called right
+    /// after [`Self::advance`]; node failures and replacements re-rate by
+    /// bumping `version` and rescheduling through this method.
     pub(crate) fn next_completion_time(&self, now: SimTime) -> Option<SimTime> {
         let k = self.running.len();
         let min_rem = self
@@ -257,10 +307,12 @@ impl MppdbInstance {
         if k == 0 {
             return None;
         }
-        // Under processor sharing the query with least remaining work
-        // finishes after `min_rem · k` further milliseconds. Ceil to the next
-        // millisecond tick so the completion check never fires early.
-        let wait = (min_rem * k as f64).ceil() as u64;
+        // Under degraded processor sharing the query with least remaining
+        // work finishes after `min_rem · k / factor` further milliseconds
+        // (factor = 1.0 on a healthy instance, so the healthy schedule is
+        // unchanged). Ceil to the next millisecond tick so the completion
+        // check never fires early.
+        let wait = (min_rem * k as f64 / self.degradation_factor()).ceil() as u64;
         Some(now + crate::time::SimDuration::from_ms(wait))
     }
 
@@ -381,6 +433,30 @@ mod tests {
         assert_eq!(i.effective_nodes(), 2);
         assert!(i.nodes().contains(&NodeId(5)));
         assert!(!i.nodes().contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn degraded_instance_progresses_at_reduced_rate() {
+        let mut i = inst(); // 2 nodes
+        i.push_running(rq(1, 0, 10_000.0, SimTime::ZERO));
+        i.mark_node_failed(); // factor 1/2
+        assert!((i.degradation_factor() - 0.5).abs() < 1e-12);
+        // 4 s of wall time at half rate pays down 2 s of work.
+        i.advance(SimTime::from_secs(4));
+        assert!((i.running[0].remaining_ms - 8_000.0).abs() < 1e-9);
+        // The remaining 8 s of work takes 16 s more at half rate.
+        assert_eq!(
+            i.next_completion_time(SimTime::from_secs(4)).unwrap(),
+            SimTime::from_secs(20)
+        );
+        assert_eq!(i.stats().degraded_ms, 4_000);
+        assert_eq!(i.degraded_ms_at(SimTime::from_secs(6)), 6_000);
+        // Replacement restores the full rate — and stops the degraded clock.
+        i.replace_failed_node(NodeId(0), NodeId(5));
+        i.advance(SimTime::from_secs(6));
+        assert!((i.running[0].remaining_ms - 6_000.0).abs() < 1e-9);
+        assert_eq!(i.stats().degraded_ms, 4_000);
+        assert_eq!(i.degraded_ms_at(SimTime::from_secs(6)), 4_000);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Randomized fault-injection invariant harness (tentpole of the
+//! degradation-correct failure model) plus deterministic `FailurePlan`
+//! edge cases: failure at a completion timestamp, failure of an already
+//! failed node, and failure during provisioning.
+
+use mppdb_sim::cluster::{Cluster, ClusterConfig, SimEvent};
+use mppdb_sim::cost::isolated_latency_ms;
+use mppdb_sim::instance::InstanceState;
+use mppdb_sim::query::{QuerySpec, QueryTemplate, SimTenantId, TemplateId};
+use mppdb_sim::time::{SimDuration, SimTime};
+use thrifty::prelude::*;
+use thrifty_bench::{fuzz, parallel};
+
+#[test]
+fn fifty_seeded_schedules_hold_every_invariant() {
+    let failures = fuzz::run_seed_range(0, 50);
+    assert!(failures.is_empty(), "{failures:#?}");
+}
+
+/// Service-level fuzz outcomes — including the full serialized
+/// telemetry-enabled [`ServiceReport`] — must be byte-identical whether
+/// the seed sweep runs on 1 thread or 4. Both runs happen inside one
+/// `#[test]` because the thread override is process-global.
+#[test]
+fn service_fuzz_reports_are_byte_identical_across_thread_counts() {
+    let seeds: Vec<u64> = (0..6).collect();
+    let sweep = |threads: usize| -> Vec<String> {
+        parallel::set_thread_override(Some(threads));
+        let out = parallel::par_map("fuzz:thread-compare", &seeds, |&s| {
+            fuzz::fuzz_service(s).expect("invariants hold").report_json
+        });
+        parallel::set_thread_override(None);
+        out
+    };
+    let serial = sweep(1);
+    let parallel_run = sweep(4);
+    assert_eq!(serial, parallel_run, "reports must match byte for byte");
+    assert!(
+        serial.iter().all(|j| j.contains("\"queries.submitted\"")),
+        "every report must carry telemetry counters"
+    );
+}
+
+fn template() -> QueryTemplate {
+    QueryTemplate::new(TemplateId(1), 100.0, 0.0)
+}
+
+fn service_with_one_group(a: u32) -> ThriftyService {
+    let members: Vec<Tenant> = (0..3).map(|i| Tenant::new(TenantId(i), 2, 200.0)).collect();
+    let plan = DeploymentPlan {
+        groups: vec![TenantGroupPlan::new(members, a, 2)],
+    };
+    ThriftyService::deploy(
+        &plan,
+        12,
+        [template()],
+        ServiceConfig::builder().elastic_scaling(false).build(),
+    )
+    .unwrap()
+}
+
+fn q(t: u32, at_s: u64) -> IncomingQuery {
+    IncomingQuery {
+        tenant: TenantId(t),
+        submit: SimTime::from_secs(at_s),
+        template: template().id,
+        baseline: SimDuration::from_ms_f64(isolated_latency_ms(&template(), 200.0, 2)),
+    }
+}
+
+/// A node failure scheduled at the exact instant a query completes must
+/// neither slow the already-finished query nor disturb determinism: the
+/// heap breaks the timestamp tie by insertion order, so repeated runs —
+/// at any harness thread count — produce identical event streams.
+#[test]
+fn failure_at_a_completion_timestamp_is_deterministic() {
+    let run = || -> String {
+        let mut s = service_with_one_group(2);
+        let inst = s.group_instances(0).unwrap()[0];
+        let victim = s.cluster().instance(inst).unwrap().nodes()[0];
+        // The t=0 query completes at exactly 10 s; the failure lands on
+        // the same timestamp.
+        s.inject_node_failure(victim, SimTime::from_secs(10))
+            .unwrap();
+        let report = s.replay([q(0, 0)]).unwrap();
+        assert_eq!(report.records.len(), 1);
+        let r = &report.records[0];
+        assert_eq!(
+            r.achieved.as_ms(),
+            10_000,
+            "a failure at the completion instant must not slow the query"
+        );
+        assert!(r.met);
+        let completed_at = report
+            .telemetry
+            .events_where(|e| matches!(e, TelemetryEvent::QueryCompleted { .. }))
+            .map(TelemetryEvent::at_ms)
+            .next()
+            .unwrap();
+        let failed_at = report
+            .telemetry
+            .events_where(|e| matches!(e, TelemetryEvent::NodeFailed { .. }))
+            .map(TelemetryEvent::at_ms)
+            .next()
+            .unwrap();
+        assert_eq!((completed_at, failed_at), (10_000, 10_000));
+        serde_json::to_string(&report).unwrap()
+    };
+    let replicas: Vec<u32> = (0..4).collect();
+    parallel::set_thread_override(Some(1));
+    let serial = parallel::par_map("edge:same-ts", &replicas, |_| run());
+    parallel::set_thread_override(Some(4));
+    let threaded = parallel::par_map("edge:same-ts", &replicas, |_| run());
+    parallel::set_thread_override(None);
+    assert_eq!(serial, threaded, "event order must not depend on threads");
+    assert!(serial.windows(2).all(|w| w[0] == w[1]), "must be stable");
+}
+
+/// Failing a node that is already dead is a no-op: one `NodeFailed`
+/// event, one replacement, and identical reports at 1 and 4 threads.
+#[test]
+fn double_failure_of_a_dead_node_is_idempotent() {
+    let run = || -> String {
+        let mut s = service_with_one_group(2);
+        let inst = s.group_instances(0).unwrap()[0];
+        let victim = s.cluster().instance(inst).unwrap().nodes()[0];
+        s.inject_node_failure(victim, SimTime::from_secs(50))
+            .unwrap();
+        s.inject_node_failure(victim, SimTime::from_secs(60))
+            .unwrap();
+        let report = s.replay([q(0, 0), q(0, 2_000)]).unwrap();
+        assert_eq!(report.telemetry.counter("nodes.failed"), 1);
+        assert_eq!(report.telemetry.counter("nodes.replaced"), 1);
+        assert_eq!(report.summary.total, 2);
+        serde_json::to_string(&report).unwrap()
+    };
+    let replicas: Vec<u32> = (0..4).collect();
+    parallel::set_thread_override(Some(1));
+    let serial = parallel::par_map("edge:double-fail", &replicas, |_| run());
+    parallel::set_thread_override(Some(4));
+    let threaded = parallel::par_map("edge:double-fail", &replicas, |_| run());
+    parallel::set_thread_override(None);
+    assert_eq!(serial, threaded);
+}
+
+/// A node that dies while its instance is still provisioning is replaced
+/// like any other: the instance still becomes ready and ends at full
+/// parallelism, and a subsequent query sees no degradation.
+#[test]
+fn failure_during_provisioning_still_yields_a_healthy_instance() {
+    let mut c = Cluster::new(ClusterConfig::new(6));
+    let id = c.provision_instance(4, &[(SimTenantId(0), 10.0)]).unwrap();
+    assert!(matches!(
+        c.instance(id).unwrap().state(),
+        InstanceState::Provisioning { .. }
+    ));
+    // Kill one of the starting nodes long before provisioning completes
+    // (the Table 5.1 model needs 160 + 165·4 s of start-up alone).
+    let victim = c.instance(id).unwrap().nodes()[1];
+    c.inject_node_failure(victim, SimTime::from_secs(60))
+        .unwrap();
+    let events = c.run_to_quiescence();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, SimEvent::NodeFailed { instance: Some(i), .. } if *i == id)));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, SimEvent::NodeReplaced { instance, .. } if *instance == id)));
+    assert_eq!(c.instance(id).unwrap().state(), InstanceState::Ready);
+    assert_eq!(c.instance(id).unwrap().effective_nodes(), 4);
+    // Full-parallelism latency: 600 ms/GB · 10 GB / 4 nodes = 1.5 s.
+    let t = QueryTemplate::new(TemplateId(2), 600.0, 0.0);
+    c.submit(id, QuerySpec::new(t, 10.0, SimTenantId(0)))
+        .unwrap();
+    let events = c.run_to_quiescence();
+    match events.as_slice() {
+        [SimEvent::QueryCompleted(comp)] => {
+            assert_eq!(comp.latency, SimDuration::from_ms(1_500));
+        }
+        other => panic!("expected one completion, got {other:?}"),
+    }
+}

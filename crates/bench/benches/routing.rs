@@ -15,7 +15,7 @@ fn bench_route_complete_cycle(c: &mut Criterion) {
                 let tenant = TenantId(i % 40);
                 i = i.wrapping_add(1);
                 let route = router.route(black_box(tenant));
-                router.complete(route.mppdb, tenant);
+                router.complete(route.mppdb, tenant).unwrap();
                 black_box(route)
             })
         });
@@ -36,7 +36,7 @@ fn bench_route_under_load(c: &mut Criterion) {
             let tenant = TenantId(4 + (i % 60));
             i = i.wrapping_add(1);
             let route = router.route(black_box(tenant)); // overflow path
-            router.complete(route.mppdb, tenant);
+            router.complete(route.mppdb, tenant).unwrap();
             black_box(route)
         })
     });

@@ -47,7 +47,9 @@ pub fn ablate(harness: &Harness) -> ExperimentResult {
             algorithm: GroupingAlgorithm::TwoStepWith(config),
             exclusion: ExclusionPolicy::default(),
         });
-        let advice = advisor.advise(&corpus.histories);
+        let started = std::time::Instant::now();
+        let mut advice = advisor.advise(&corpus.histories);
+        advice.report.runtime = started.elapsed();
         vec![
             label.into(),
             pct(advice.report.effectiveness),

@@ -264,13 +264,15 @@ fn drive_with_takeover(service: &mut ThriftyService, scenario: &Fig77Scenario) {
                     if poll_clock > poll_limit {
                         break;
                     }
-                    service.advance_log_time(SimTime::from_ms(poll_clock));
+                    service
+                        .advance_log_time(SimTime::from_ms(poll_clock))
+                        .expect("takeover poll");
                 }
                 _ => break,
             },
         }
     }
-    service.drain();
+    service.drain().expect("final drain");
 }
 
 /// Fraction of queries violating the SLA and the worst normalized latency

@@ -20,6 +20,7 @@ fn replay_day_one(harness: &Harness, corpus: &CorpusView) -> (Table, TelemetrySn
         exclusion: ExclusionPolicy::default(),
     });
     let advice = advisor.advise(&corpus.histories);
+    // Membership-only set (never iterated). // lint: allow(unordered)
     let planned: std::collections::HashSet<TenantId> = advice
         .plan
         .groups

@@ -9,9 +9,10 @@
 //! consolidation report, it also answers the provider-side question: what
 //! margin does consolidation create over dedicated hardware?
 
+use crate::error::{ThriftyError, ThriftyResult};
 use crate::tenant::{Tenant, TenantId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tariff parameters. Currency units are abstract ("credits").
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -55,7 +56,9 @@ struct TenantUsage {
 /// exactly mirroring the paper's load-balancing stance).
 #[derive(Clone, Debug, Default)]
 pub struct UsageMeter {
-    usage: HashMap<TenantId, TenantUsage>,
+    /// Ordered map: invoices and activity reports drain this in tenant-id
+    /// order (lint rule L1).
+    usage: BTreeMap<TenantId, TenantUsage>,
 }
 
 impl UsageMeter {
@@ -75,22 +78,25 @@ impl UsageMeter {
 
     /// Records a query completion for `tenant` at `now_ms`.
     ///
-    /// # Panics
-    /// Panics if the tenant has no running query.
-    pub fn on_query_finish(&mut self, tenant: TenantId, now_ms: u64) {
-        let u = self
-            .usage
-            .get_mut(&tenant)
-            .unwrap_or_else(|| panic!("tenant {tenant} has no running query to finish"));
-        assert!(
-            u.running > 0,
-            "tenant {tenant} has no running query to finish"
-        );
+    /// # Errors
+    /// [`ThriftyError::NoRunningQuery`] if the tenant has no running query.
+    pub fn on_query_finish(&mut self, tenant: TenantId, now_ms: u64) -> ThriftyResult<()> {
+        let meter_error = ThriftyError::NoRunningQuery {
+            component: "meter",
+            tenant,
+        };
+        let Some(u) = self.usage.get_mut(&tenant) else {
+            return Err(meter_error);
+        };
+        if u.running == 0 {
+            return Err(meter_error);
+        }
         u.running -= 1;
         u.queries += 1;
         if u.running == 0 {
             u.active_ms += now_ms.saturating_sub(u.active_since);
         }
+        Ok(())
     }
 
     /// Total active milliseconds accumulated for a tenant (closed intervals
@@ -202,13 +208,13 @@ mod tests {
         // Two overlapping queries: active span is their union.
         m.on_query_start(T0, 0);
         m.on_query_start(T0, 500);
-        m.on_query_finish(T0, 800);
-        m.on_query_finish(T0, 1_000);
+        m.on_query_finish(T0, 800).unwrap();
+        m.on_query_finish(T0, 1_000).unwrap();
         assert_eq!(m.active_ms(T0), 1_000);
         assert_eq!(m.query_count(T0), 2);
         // A later, disjoint query adds its own span.
         m.on_query_start(T0, 5_000);
-        m.on_query_finish(T0, 5_400);
+        m.on_query_finish(T0, 5_400).unwrap();
         assert_eq!(m.active_ms(T0), 1_400);
     }
 
@@ -216,7 +222,7 @@ mod tests {
     fn invoice_combines_subscription_and_usage() {
         let mut m = UsageMeter::new();
         m.on_query_start(T0, 0);
-        m.on_query_finish(T0, 10_000); // 10 s active
+        m.on_query_finish(T0, 10_000).unwrap(); // 10 s active
         let tenant = Tenant::new(T0, 4, 400.0);
         let invoice = m.invoice(&tenant, &Tariff::default(), 30.0);
         // Subscription: 10 credits/node/day * 4 nodes * 30 days = 1200.
@@ -246,9 +252,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no running query")]
-    fn unbalanced_finish_panics() {
+    fn unbalanced_finish_is_an_error() {
         let mut m = UsageMeter::new();
-        m.on_query_finish(T0, 10);
+        assert!(matches!(
+            m.on_query_finish(T0, 10),
+            Err(ThriftyError::NoRunningQuery {
+                component: "meter",
+                ..
+            })
+        ));
     }
 }

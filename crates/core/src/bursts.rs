@@ -125,7 +125,7 @@ impl BurstDetector {
         if !periodic || mean_gap <= 0.0 {
             return None;
         }
-        let last = bursts.last().expect("len >= 3").start_ms;
+        let last = bursts.last()?.start_ms;
         Some(RecurringBurst {
             period_ms: mean_gap as u64,
             next_predicted_ms: last + mean_gap as u64,

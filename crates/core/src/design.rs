@@ -32,7 +32,8 @@ impl TenantGroupPlan {
     pub fn new(members: Vec<Tenant>, a: u32, u: u32) -> Self {
         assert!(!members.is_empty(), "a tenant-group needs members");
         assert!(a >= 1, "replication factor must be at least 1");
-        let n1 = members.iter().map(|t| t.nodes).max().expect("non-empty");
+        // The assert above guarantees members is non-empty.
+        let n1 = members.iter().map(|t| t.nodes).max().unwrap_or(0);
         assert!(
             u >= n1,
             "tuning MPPDB must have at least n_1 = {n1} nodes, got {u}"
@@ -52,11 +53,8 @@ impl TenantGroupPlan {
 
     /// The largest member's node request, `n_1`.
     pub fn largest_request(&self) -> u32 {
-        self.members
-            .iter()
-            .map(|t| t.nodes)
-            .max()
-            .expect("non-empty")
+        // Construction guarantees at least one member.
+        self.members.iter().map(|t| t.nodes).max().unwrap_or(0)
     }
 
     /// Nodes of the tuning MPPDB (`U`).
@@ -112,7 +110,8 @@ impl DeploymentPlan {
             .iter()
             .map(|g| {
                 let members: Vec<Tenant> = g.members.iter().map(|&i| problem.tenants[i]).collect();
-                let n1 = members.iter().map(|t| t.nodes).max().expect("non-empty");
+                // Grouping never emits an empty group.
+                let n1 = members.iter().map(|t| t.nodes).max().unwrap_or(0);
                 TenantGroupPlan::new(members, problem.replication, n1)
             })
             .collect();

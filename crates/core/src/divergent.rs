@@ -106,11 +106,8 @@ pub fn divergent_group_plan(
     slack: f64,
     max_u: u32,
 ) -> (TenantGroupPlan, DivergentSizing) {
-    let n1 = members
-        .iter()
-        .map(|t| t.nodes)
-        .max()
-        .expect("a tenant-group needs members");
+    assert!(!members.is_empty(), "a tenant-group needs members");
+    let n1 = members.iter().map(|t| t.nodes).max().unwrap_or(0);
     let data_gb = members.iter().map(|t| t.data_gb).fold(0.0f64, f64::max);
     let sizing = size_divergent_tuning_mppdb(templates, data_gb, n1, overflow_degree, slack, max_u);
     let plan = TenantGroupPlan::new(members, replication, sizing.u);

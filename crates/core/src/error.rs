@@ -29,6 +29,20 @@ pub enum ThriftyError {
     UnknownTenant(crate::tenant::TenantId),
     /// The service has not been deployed yet.
     NotDeployed,
+    /// A query completion was reported for a tenant that has no running
+    /// query — a caller bookkeeping error, surfaced as an error (not a
+    /// panic) per the library's no-panic discipline.
+    NoRunningQuery {
+        /// Which bookkeeping component noticed (e.g. "router", "monitor",
+        /// "meter").
+        component: &'static str,
+        /// The tenant whose completion could not be matched.
+        tenant: crate::tenant::TenantId,
+    },
+    /// An internal bookkeeping invariant failed to hold; the service state
+    /// should be considered corrupt. Carries a static description of the
+    /// broken invariant.
+    Internal(&'static str),
     /// An underlying simulator error.
     Sim(SimError),
 }
@@ -51,6 +65,13 @@ impl fmt::Display for ThriftyError {
                 write!(f, "tenant {id} is not part of the deployment")
             }
             ThriftyError::NotDeployed => write!(f, "service has not been deployed"),
+            ThriftyError::NoRunningQuery { component, tenant } => write!(
+                f,
+                "{component}: tenant {tenant} has no running query to finish"
+            ),
+            ThriftyError::Internal(what) => {
+                write!(f, "internal bookkeeping invariant violated: {what}")
+            }
             ThriftyError::Sim(e) => write!(f, "simulator error: {e}"),
         }
     }

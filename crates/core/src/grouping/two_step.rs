@@ -108,12 +108,14 @@ fn split_bucket(
     while !remaining.is_empty() {
         // Seed with the least active remaining tenant (ties: lowest index,
         // i.e. lowest tenant id, for determinism).
-        let seed_pos = remaining
+        let Some(seed_pos) = remaining
             .iter()
             .enumerate()
             .min_by_key(|(_, &i)| (problem.activities[i].active_epochs(), i))
             .map(|(pos, _)| pos)
-            .expect("remaining is non-empty");
+        else {
+            break; // unreachable: the loop condition holds remaining non-empty
+        };
         let seed = remaining.swap_remove(seed_pos);
         let mut hist = ActiveCountHistogram::new(d);
         hist.add(&problem.activities[seed]);

@@ -57,6 +57,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// L4 (no-panic discipline): library code routes failures through
+// `ThriftyError`; unwrap stays available in tests. Enforced alongside
+// thrifty-lint, which additionally catches `.expect()`/`panic!`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod activity;
 pub mod advisor;

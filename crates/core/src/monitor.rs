@@ -10,8 +10,9 @@
 //! The monitor also records each tenant's busy intervals inside the window
 //! — the input to over-active-tenant identification.
 
+use crate::error::{ThriftyError, ThriftyResult};
 use crate::tenant::TenantId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Sliding-window activity monitor for one tenant-group.
 #[derive(Clone, Debug)]
@@ -27,12 +28,13 @@ pub struct GroupActivityMonitor {
     /// Start of the currently open violation, if the active count exceeds
     /// `r` right now.
     open_violation: Option<u64>,
-    /// Running queries per tenant.
-    running: HashMap<TenantId, u32>,
+    /// Running queries per tenant. Ordered maps: monitor state feeds the
+    /// deterministic replay (lint rule L1).
+    running: BTreeMap<TenantId, u32>,
     /// Closed per-tenant busy intervals, oldest first.
-    tenant_busy: HashMap<TenantId, VecDeque<(u64, u64)>>,
+    tenant_busy: BTreeMap<TenantId, VecDeque<(u64, u64)>>,
     /// Open per-tenant busy interval start.
-    tenant_open: HashMap<TenantId, u64>,
+    tenant_open: BTreeMap<TenantId, u64>,
 }
 
 impl GroupActivityMonitor {
@@ -49,9 +51,9 @@ impl GroupActivityMonitor {
             started_at: now_ms,
             violations: VecDeque::new(),
             open_violation: None,
-            running: HashMap::new(),
-            tenant_busy: HashMap::new(),
-            tenant_open: HashMap::new(),
+            running: BTreeMap::new(),
+            tenant_busy: BTreeMap::new(),
+            tenant_open: BTreeMap::new(),
         }
     }
 
@@ -80,20 +82,24 @@ impl GroupActivityMonitor {
 
     /// Records the completion of a query of `tenant` at `now_ms`.
     ///
-    /// # Panics
-    /// Panics if the tenant has no running query (caller bookkeeping error).
-    pub fn on_query_finish(&mut self, tenant: TenantId, now_ms: u64) {
-        let count = self
-            .running
-            .get_mut(&tenant)
-            .unwrap_or_else(|| panic!("tenant {tenant} has no running query"));
+    /// # Errors
+    /// [`ThriftyError::NoRunningQuery`] if the tenant has no running query
+    /// (a caller bookkeeping error).
+    pub fn on_query_finish(&mut self, tenant: TenantId, now_ms: u64) -> ThriftyResult<()> {
+        let Some(count) = self.running.get_mut(&tenant) else {
+            return Err(ThriftyError::NoRunningQuery {
+                component: "monitor",
+                tenant,
+            });
+        };
         *count -= 1;
         if *count == 0 {
             self.running.remove(&tenant);
-            let start = self
-                .tenant_open
-                .remove(&tenant)
-                .expect("open interval exists while running");
+            let Some(start) = self.tenant_open.remove(&tenant) else {
+                return Err(ThriftyError::Internal(
+                    "an open busy interval must exist while the tenant runs",
+                ));
+            };
             if now_ms > start {
                 self.tenant_busy
                     .entry(tenant)
@@ -109,6 +115,7 @@ impl GroupActivityMonitor {
             }
         }
         self.prune(now_ms);
+        Ok(())
     }
 
     /// Drops closed intervals that ended before the window.
@@ -211,8 +218,8 @@ mod tests {
         let mut m = GroupActivityMonitor::new(2, 1000, 0);
         m.on_query_start(T1, 10);
         m.on_query_start(T2, 20);
-        m.on_query_finish(T1, 100);
-        m.on_query_finish(T2, 120);
+        m.on_query_finish(T1, 100).unwrap();
+        m.on_query_finish(T2, 120).unwrap();
         assert_eq!(m.rt_ttp(500), 1.0);
         assert_eq!(m.active_tenants(), 0);
     }
@@ -225,8 +232,8 @@ mod tests {
         assert_eq!(m.active_tenants(), 2);
         m.on_query_start(T3, 100); // third active tenant: violation opens
         assert_eq!(m.active_tenants(), 3);
-        m.on_query_finish(T3, 300); // back to 2: violation closes
-                                    // 200 ms violated out of 1000 observed at t = 1000.
+        m.on_query_finish(T3, 300).unwrap(); // back to 2: violation closes
+                                             // 200 ms violated out of 1000 observed at t = 1000.
         assert!((m.rt_ttp(1_000) - 0.8).abs() < 1e-12);
     }
 
@@ -244,8 +251,8 @@ mod tests {
         let mut m = GroupActivityMonitor::new(1, 1_000, 0);
         m.on_query_start(T1, 0);
         m.on_query_start(T2, 0);
-        m.on_query_finish(T2, 100);
-        m.on_query_finish(T1, 100);
+        m.on_query_finish(T2, 100).unwrap();
+        m.on_query_finish(T1, 100).unwrap();
         assert!(m.rt_ttp(200) < 1.0);
         // By t = 2000 the violation [0, 100) left the 1000 ms window.
         assert_eq!(m.rt_ttp(2_000), 1.0);
@@ -267,9 +274,9 @@ mod tests {
         m.on_query_start(T1, 10); // the tenant's own second query
         assert_eq!(m.active_tenants(), 1);
         assert_eq!(m.rt_ttp(500), 1.0);
-        m.on_query_finish(T1, 100);
+        m.on_query_finish(T1, 100).unwrap();
         assert_eq!(m.active_tenants(), 1);
-        m.on_query_finish(T1, 200);
+        m.on_query_finish(T1, 200).unwrap();
         assert_eq!(m.active_tenants(), 0);
     }
 
@@ -277,7 +284,7 @@ mod tests {
     fn window_activity_reports_busy_intervals() {
         let mut m = GroupActivityMonitor::new(2, 10_000, 0);
         m.on_query_start(T1, 100);
-        m.on_query_finish(T1, 300);
+        m.on_query_finish(T1, 300).unwrap();
         m.on_query_start(T2, 200);
         m.on_query_start(T1, 500);
         let acts = m.window_activity(1_000);
@@ -292,18 +299,23 @@ mod tests {
     fn window_activity_clips_to_window() {
         let mut m = GroupActivityMonitor::new(2, 1_000, 0);
         m.on_query_start(T1, 0);
-        m.on_query_finish(T1, 100);
+        m.on_query_finish(T1, 100).unwrap();
         m.on_query_start(T1, 1_900);
-        m.on_query_finish(T1, 1_950);
+        m.on_query_finish(T1, 1_950).unwrap();
         let acts = m.window_activity(2_000);
         // The [0,100) interval left the window [1000, 2000).
         assert_eq!(acts, vec![(T1, vec![(1_900, 1_950)])]);
     }
 
     #[test]
-    #[should_panic(expected = "no running query")]
-    fn unbalanced_finish_panics() {
+    fn unbalanced_finish_is_an_error() {
         let mut m = GroupActivityMonitor::new(1, 1_000, 0);
-        m.on_query_finish(T1, 10);
+        assert!(matches!(
+            m.on_query_finish(T1, 10),
+            Err(ThriftyError::NoRunningQuery {
+                component: "monitor",
+                ..
+            })
+        ));
     }
 }

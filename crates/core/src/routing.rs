@@ -20,9 +20,10 @@
 //! types makes Algorithm 1 unit-testable exactly as the paper walks through
 //! it (Figure 4.2).
 
+use crate::error::{ThriftyError, ThriftyResult};
 use crate::tenant::TenantId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of an MPPDB within one tenant-group (0 = the tuning MPPDB).
 pub type MppdbIndex = usize;
@@ -55,11 +56,12 @@ pub struct Route {
 #[derive(Clone, Debug)]
 pub struct QueryRouter {
     /// `running[j][tenant]` = number of that tenant's queries currently
-    /// executing on MPPDB `j`.
-    running: Vec<HashMap<TenantId, u32>>,
+    /// executing on MPPDB `j`. Ordered maps: routing state is part of the
+    /// replay-determinism contract (lint rule L1).
+    running: Vec<BTreeMap<TenantId, u32>>,
     /// Per-tenant total across all MPPDBs, maintained incrementally so the
     /// per-submit hot path never rescans `running`.
-    tenant_totals: HashMap<TenantId, u32>,
+    tenant_totals: BTreeMap<TenantId, u32>,
     /// Number of distinct tenants with at least one running query.
     distinct_active: usize,
 }
@@ -72,8 +74,8 @@ impl QueryRouter {
     pub fn new(a: usize) -> Self {
         assert!(a >= 1, "a tenant-group has at least one MPPDB");
         QueryRouter {
-            running: vec![HashMap::new(); a],
-            tenant_totals: HashMap::new(),
+            running: vec![BTreeMap::new(); a],
+            tenant_totals: BTreeMap::new(),
             distinct_active: 0,
         }
     }
@@ -148,26 +150,31 @@ impl QueryRouter {
 
     /// Records the completion of one of `tenant`'s queries on MPPDB `j`.
     ///
-    /// # Panics
-    /// Panics if no such query is running (a bookkeeping error in the
-    /// caller).
-    pub fn complete(&mut self, j: MppdbIndex, tenant: TenantId) {
-        let count = self.running[j]
-            .get_mut(&tenant)
-            .unwrap_or_else(|| panic!("tenant {tenant} has no queries on MPPDB {j}"));
+    /// # Errors
+    /// [`ThriftyError::NoRunningQuery`] if no such query is running (a
+    /// bookkeeping error in the caller).
+    pub fn complete(&mut self, j: MppdbIndex, tenant: TenantId) -> ThriftyResult<()> {
+        let Some(count) = self.running[j].get_mut(&tenant) else {
+            return Err(ThriftyError::NoRunningQuery {
+                component: "router",
+                tenant,
+            });
+        };
         *count -= 1;
         if *count == 0 {
             self.running[j].remove(&tenant);
         }
-        let total = self
-            .tenant_totals
-            .get_mut(&tenant)
-            .expect("tenant_totals tracks every running query");
+        let Some(total) = self.tenant_totals.get_mut(&tenant) else {
+            return Err(ThriftyError::Internal(
+                "tenant_totals must track every running query",
+            ));
+        };
         *total -= 1;
         if *total == 0 {
             self.tenant_totals.remove(&tenant);
             self.distinct_active -= 1;
         }
+        Ok(())
     }
 }
 
@@ -207,8 +214,8 @@ mod tests {
         assert_eq!(r.active_tenants(), 3);
 
         // T4 finishes Q1 and Q3: MPPDB_0 becomes free.
-        r.complete(0, T4);
-        r.complete(0, T4);
+        r.complete(0, T4).unwrap();
+        r.complete(0, T4).unwrap();
         assert!(r.is_free(0));
 
         // Q6: T1 becomes active -> MPPDB_0 (rule 2).
@@ -220,15 +227,15 @@ mod tests {
         // busy with T9 too, so in the paper Q7 goes to MPPDB_1? No: the
         // paper routes Q7 to a *free* MPPDB (T2's queries had finished by
         // then). Mirror that: complete T2's queries first.
-        r.complete(1, T2);
-        r.complete(1, T2);
+        r.complete(1, T2).unwrap();
+        r.complete(1, T2).unwrap();
         let q7 = r.route(T4);
         assert_eq!((q7.mppdb, q7.kind), (1, RouteKind::OtherFree));
 
         // Q8: T1 submits right after Q6 finished ("short think time"): T1 is
         // momentarily inactive, so Q8 need not follow Q6 — but with MPPDB_1
         // and MPPDB_2 busy and MPPDB_0 free, it lands on MPPDB_0 again.
-        r.complete(0, T1);
+        r.complete(0, T1).unwrap();
         let q8 = r.route(T1);
         assert_eq!((q8.mppdb, q8.kind), (0, RouteKind::TuningFree));
     }
@@ -259,17 +266,22 @@ mod tests {
         r.route(T1);
         assert!(!r.is_free(0));
         assert_eq!(r.serving(T1), Some(0));
-        r.complete(0, T1);
+        r.complete(0, T1).unwrap();
         assert!(r.is_free(0));
         assert_eq!(r.serving(T1), None);
         assert_eq!(r.active_tenants(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "no queries")]
-    fn completing_unknown_query_panics() {
+    fn completing_unknown_query_is_an_error() {
         let mut r = QueryRouter::new(2);
-        r.complete(0, T1);
+        assert_eq!(
+            r.complete(0, T1),
+            Err(ThriftyError::NoRunningQuery {
+                component: "router",
+                tenant: T1
+            })
+        );
     }
 
     #[test]
@@ -290,7 +302,7 @@ mod tests {
             assert_eq!(r.active_tenants(), recount(&r));
         }
         while let Some((j, t)) = placed.pop() {
-            r.complete(j, t);
+            r.complete(j, t).unwrap();
             assert_eq!(r.active_tenants(), recount(&r));
         }
         assert_eq!(r.active_tenants(), 0);

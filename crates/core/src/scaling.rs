@@ -18,7 +18,7 @@ use crate::monitor::GroupActivityMonitor;
 use crate::tenant::{Tenant, TenantId};
 use mppdb_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A tenant counts as deviating from history when its observed activity
 /// ratio in the monitor window exceeds this multiple of its historical
@@ -59,20 +59,20 @@ pub fn identify_over_active(
     sla_p: f64,
     epoch_ms: u64,
     now_ms: u64,
-    historical_ratios: Option<&HashMap<TenantId, f64>>,
+    historical_ratios: Option<&BTreeMap<TenantId, f64>>,
 ) -> Vec<TenantId> {
     let window = monitor.window_activity(now_ms);
-    if window.is_empty() {
-        return Vec::new();
-    }
-    let window_start = window
+    let Some(window_start) = window
         .iter()
         .flat_map(|(_, iv)| iv.iter().map(|&(s, _)| s))
         .min()
-        .expect("non-empty window");
+    else {
+        // No busy interval observed: nothing can be over-active.
+        return Vec::new();
+    };
     let horizon = now_ms.saturating_sub(window_start).max(epoch_ms);
     let epoch = EpochConfig::new(epoch_ms, horizon);
-    let by_id: HashMap<TenantId, &Vec<(u64, u64)>> =
+    let by_id: BTreeMap<TenantId, &Vec<(u64, u64)>> =
         window.iter().map(|(t, iv)| (*t, iv)).collect();
 
     let mut tenants = Vec::with_capacity(members.len());
@@ -169,7 +169,7 @@ mod tests {
         monitor.on_query_start(TenantId(0), 0); // runs "forever"
         for (i, start) in [(1u32, 10_000u64), (2, 40_000), (3, 70_000)] {
             monitor.on_query_start(TenantId(i), start);
-            monitor.on_query_finish(TenantId(i), start + 5_000);
+            monitor.on_query_finish(TenantId(i), start + 5_000).unwrap();
         }
         let over = identify_over_active(&members(4), &monitor, 1, 0.999, 1_000, 100_000, None);
         assert_eq!(over, vec![TenantId(0)]);
@@ -181,7 +181,9 @@ mod tests {
         for i in 0..6u32 {
             let start = u64::from(i) * 20_000;
             monitor.on_query_start(TenantId(i), start);
-            monitor.on_query_finish(TenantId(i), start + 10_000);
+            monitor
+                .on_query_finish(TenantId(i), start + 10_000)
+                .unwrap();
         }
         let over = identify_over_active(&members(6), &monitor, 3, 0.999, 1_000, 150_000, None);
         assert!(over.is_empty());
@@ -194,8 +196,8 @@ mod tests {
         let mut monitor = GroupActivityMonitor::new(1, 1_000_000, 0);
         monitor.on_query_start(TenantId(0), 0);
         monitor.on_query_start(TenantId(1), 0);
-        monitor.on_query_finish(TenantId(1), 40_000);
-        let hist: HashMap<TenantId, f64> = [
+        monitor.on_query_finish(TenantId(1), 40_000).unwrap();
+        let hist: BTreeMap<TenantId, f64> = [
             (TenantId(0), 0.05),
             (TenantId(1), 0.50),
             (TenantId(2), 0.05),

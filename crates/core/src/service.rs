@@ -27,7 +27,7 @@ use mppdb_sim::node::NodeId;
 use mppdb_sim::query::{QueryId, QuerySpec, QueryTemplate, TemplateId};
 use mppdb_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// RT-TTP trace sampling (for the Figure 7.7 time-series plots).
 ///
@@ -258,18 +258,21 @@ struct Inflight {
 pub struct ThriftyService {
     cluster: Cluster,
     config: ServiceConfig,
-    templates: HashMap<TemplateId, QueryTemplate>,
-    tenant_info: HashMap<TenantId, Tenant>,
-    tenant_group: HashMap<TenantId, usize>,
+    templates: BTreeMap<TemplateId, QueryTemplate>,
+    tenant_info: BTreeMap<TenantId, Tenant>,
+    tenant_group: BTreeMap<TenantId, usize>,
     groups: Vec<GroupRuntime>,
-    inflight: HashMap<QueryId, Inflight>,
+    /// Keyed by a `BTreeMap` so every iteration (most importantly the
+    /// scale-out migration sweep) visits queries in id order — replaying
+    /// the same log twice reassigns identical query ids.
+    inflight: BTreeMap<QueryId, Inflight>,
     records: Vec<SlaRecord>,
     scaling_events: Vec<ScalingEvent>,
     ttp_trace: Vec<TtpSample>,
     next_trace_ms: u64,
     /// Per-tenant historical activity ratios, used by over-active
     /// identification to detect deviation from history.
-    historical_ratios: HashMap<TenantId, f64>,
+    historical_ratios: BTreeMap<TenantId, f64>,
     /// Pricing-model usage metering (Chapter 3).
     meter: UsageMeter,
     /// Metrics + event recorder (see [`crate::telemetry`]).
@@ -293,8 +296,8 @@ impl ThriftyService {
         let deployment = DeploymentMaster::deploy(plan, &mut cluster)?;
         let offset_ms = deployment.ready_at.as_ms();
 
-        let mut tenant_info = HashMap::new();
-        let mut tenant_group = HashMap::new();
+        let mut tenant_info = BTreeMap::new();
+        let mut tenant_group = BTreeMap::new();
         let mut groups = Vec::with_capacity(plan.groups.len());
         for (gi, (group_plan, instances)) in plan
             .groups
@@ -374,13 +377,13 @@ impl ThriftyService {
             tenant_info,
             tenant_group,
             groups,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             records: Vec::new(),
             scaling_events: Vec::new(),
             ttp_trace: Vec::new(),
             next_trace_ms,
             offset_ms,
-            historical_ratios: HashMap::new(),
+            historical_ratios: BTreeMap::new(),
             meter: UsageMeter::new(),
             telemetry,
         })
@@ -427,7 +430,7 @@ impl ThriftyService {
         for q in queries {
             self.submit(q)?;
         }
-        self.drain();
+        self.drain()?;
         Ok(self.take_report())
     }
 
@@ -441,7 +444,7 @@ impl ThriftyService {
     pub fn submit(&mut self, q: IncomingQuery) -> ThriftyResult<()> {
         let at =
             SimTime::from_ms((q.submit.as_ms() + self.offset_ms).max(self.cluster.now().as_ms()));
-        self.advance_to(at);
+        self.advance_to(at)?;
         self.submit_query(q, at)
     }
 
@@ -522,8 +525,13 @@ impl ThriftyService {
 
     /// Advances the service (and the underlying simulation) to a log-time
     /// instant, delivering completions and scaling events on the way.
-    pub fn advance_log_time(&mut self, log_time: SimTime) {
-        self.advance_to(SimTime::from_ms(log_time.as_ms() + self.offset_ms));
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThriftyError::Internal`] (or a simulator error) if the
+    /// delivered events violate the service's bookkeeping invariants.
+    pub fn advance_log_time(&mut self, log_time: SimTime) -> ThriftyResult<()> {
+        self.advance_to(SimTime::from_ms(log_time.as_ms() + self.offset_ms))
     }
 
     /// The SLA records produced so far, in completion order.
@@ -533,10 +541,16 @@ impl ThriftyService {
 
     /// Processes all outstanding simulator work (lets every running query
     /// finish).
-    pub fn drain(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThriftyError::Internal`] (or a simulator error) if the
+    /// delivered events violate the service's bookkeeping invariants.
+    pub fn drain(&mut self) -> ThriftyResult<()> {
         while let Some(t) = self.cluster.peek_next_event_time() {
-            self.advance_to(t);
+            self.advance_to(t)?;
         }
+        Ok(())
     }
 
     /// Builds the report for everything replayed so far without consuming
@@ -555,9 +569,14 @@ impl ThriftyService {
     /// Consumes the service and produces the final report without cloning
     /// the accumulated record vectors. Outstanding simulator work is
     /// drained first, so every submitted query is accounted for.
-    pub fn into_report(mut self) -> ServiceReport {
-        self.drain();
-        self.take_report()
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThriftyError::Internal`] (or a simulator error) if the
+    /// final drain violates the service's bookkeeping invariants.
+    pub fn into_report(mut self) -> ThriftyResult<ServiceReport> {
+        self.drain()?;
+        Ok(self.take_report())
     }
 
     /// A snapshot of the telemetry recorded so far, with per-instance
@@ -631,14 +650,14 @@ impl ThriftyService {
         }
     }
 
-    fn advance_to(&mut self, t: SimTime) {
+    fn advance_to(&mut self, t: SimTime) -> ThriftyResult<()> {
         self.sample_traces_until(t.as_ms());
         let events = self.cluster.run_until(t);
         for event in events {
             match event {
-                SimEvent::QueryCompleted(c) => self.handle_completion(c),
+                SimEvent::QueryCompleted(c) => self.handle_completion(c)?,
                 SimEvent::InstanceReady { instance, at } => {
-                    self.activate_scale_out(instance, at);
+                    self.activate_scale_out(instance, at)?;
                 }
                 SimEvent::NodeFailed { node, instance, at } => {
                     // The MPPDB stays online at reduced parallelism
@@ -693,6 +712,7 @@ impl ThriftyService {
                 SimEvent::TenantLoaded { .. } => {}
             }
         }
+        Ok(())
     }
 
     fn sample_traces_until(&mut self, now_ms: u64) {
@@ -770,18 +790,17 @@ impl ThriftyService {
         Ok(())
     }
 
-    fn handle_completion(&mut self, c: QueryCompletion) {
-        let info = match self.inflight.remove(&c.query) {
-            Some(info) => info,
-            None => return, // aborted by decommission
+    fn handle_completion(&mut self, c: QueryCompletion) -> ThriftyResult<()> {
+        let Some(info) = self.inflight.remove(&c.query) else {
+            return Ok(()); // aborted by decommission
         };
         let now_ms = c.finished.as_ms();
         let group = &mut self.groups[info.group];
-        group.router.complete(info.mppdb, info.tenant);
+        group.router.complete(info.mppdb, info.tenant)?;
         if info.monitor_generation == group.monitor_generation {
-            group.monitor.on_query_finish(info.tenant, now_ms);
+            group.monitor.on_query_finish(info.tenant, now_ms)?;
         }
-        self.meter.on_query_finish(info.tenant, now_ms);
+        self.meter.on_query_finish(info.tenant, now_ms)?;
         // Achieved latency is measured from the query's first submission,
         // not from any re-submission a scale-out migration performed.
         let achieved = c.finished.saturating_since(info.submitted_abs);
@@ -818,14 +837,14 @@ impl ThriftyService {
             });
         }
         self.records.push(record);
-        self.maybe_scale(info.group, now_ms);
+        self.maybe_scale(info.group, now_ms)
     }
 
     /// Checks a group's RT-TTP and triggers lightweight elastic scaling
     /// when it falls below `P` (Chapter 5.1).
-    fn maybe_scale(&mut self, gi: usize, now_ms: u64) {
+    fn maybe_scale(&mut self, gi: usize, now_ms: u64) -> ThriftyResult<()> {
         if !self.config.elastic_scaling {
-            return;
+            return Ok(());
         }
         {
             let group = &self.groups[gi];
@@ -834,12 +853,12 @@ impl ThriftyService {
                 || now_ms.saturating_sub(group.last_scaling_check_ms)
                     < self.config.scaling_check_interval_ms
             {
-                return;
+                return Ok(());
             }
         }
         self.groups[gi].last_scaling_check_ms = now_ms;
         if self.groups[gi].monitor.rt_ttp(now_ms) >= self.config.sla_p {
-            return;
+            return Ok(());
         }
         let group = &self.groups[gi];
         let history = if self.historical_ratios.is_empty() {
@@ -858,7 +877,7 @@ impl ThriftyService {
         );
         // Never strip the whole group; keep at least one member.
         if over_active.is_empty() || over_active.len() >= group.members.len() {
-            return;
+            return Ok(());
         }
         let datasets: Vec<(TenantId, f64)> = over_active
             .iter()
@@ -871,8 +890,10 @@ impl ThriftyService {
         let instance = match self.cluster.provision_instance(node_size, &datasets) {
             Ok(id) => id,
             // No spare nodes: the cloud ran dry; scaling is impossible now.
-            Err(SimError::InsufficientNodes { .. }) => return,
-            Err(e) => unreachable!("provisioning failed unexpectedly: {e}"),
+            Err(SimError::InsufficientNodes { .. }) => return Ok(()),
+            // Any other provisioning failure is a bug in our request —
+            // surface it instead of panicking.
+            Err(e) => return Err(ThriftyError::Sim(e)),
         };
         if self.telemetry.is_enabled() {
             let at_ms = self.log_ms(now_ms);
@@ -906,20 +927,27 @@ impl ThriftyService {
             moved: over_active,
             event_idx,
         });
+        Ok(())
     }
 
     /// Completes a pending scale-out when its MPPDB finishes loading: the
     /// over-active tenants move to a new single-MPPDB group and the parent
     /// group's monitoring restarts without their history.
-    fn activate_scale_out(&mut self, instance: InstanceId, at: SimTime) {
+    fn activate_scale_out(&mut self, instance: InstanceId, at: SimTime) -> ThriftyResult<()> {
         let Some(gi) = self
             .groups
             .iter()
             .position(|g| matches!(&g.pending_scale, Some(p) if p.instance == instance))
         else {
-            return;
+            return Ok(());
         };
-        let pending = self.groups[gi].pending_scale.take().expect("matched above");
+        // The position lookup above matched on `pending_scale`, so `take`
+        // must yield it; anything else is corrupt bookkeeping.
+        let Some(pending) = self.groups[gi].pending_scale.take() else {
+            return Err(ThriftyError::Internal(
+                "a matched pending scale-out must be present in its group",
+            ));
+        };
         self.groups[gi].has_scaled = true;
         let now_ms = at.as_ms();
         self.scaling_events[pending.event_idx].ready_at =
@@ -1004,7 +1032,13 @@ impl ThriftyService {
             .map(|(&qid, _)| qid)
             .collect();
         for qid in migrate {
-            let info = self.inflight.remove(&qid).expect("listed above");
+            // Collected from the map just above and nothing removes entries
+            // in between; a miss would mean corrupt bookkeeping.
+            let Some(info) = self.inflight.remove(&qid) else {
+                return Err(ThriftyError::Internal(
+                    "a query listed for migration must still be in flight",
+                ));
+            };
             let old_instance = self.groups[gi].instances[info.mppdb];
             // The query may have completed within the same event batch that
             // delivered this instance-ready notification (the cluster state
@@ -1015,15 +1049,14 @@ impl ThriftyService {
                 self.inflight.insert(qid, info);
                 continue;
             };
-            self.groups[gi].router.complete(info.mppdb, info.tenant);
+            self.groups[gi].router.complete(info.mppdb, info.tenant)?;
             // Restart on the new MPPDB. The new query id replaces the old
             // one in the in-flight map; latency accounting is anchored to
-            // the original log submission via `log_submit`/`baseline`.
+            // the original log submission via `log_submit`/`baseline`. The
+            // scale-out instance hosts every moved tenant, so a submission
+            // failure is a genuine error worth surfacing.
             let route = self.groups[new_gi].router.route(info.tenant);
-            let new_qid = self
-                .cluster
-                .submit(instance, spec)
-                .expect("scale-out instance hosts its tenants");
+            let new_qid = self.cluster.submit(instance, spec)?;
             self.groups[new_gi]
                 .monitor
                 .on_query_start(info.tenant, now_ms);
@@ -1068,6 +1101,7 @@ impl ThriftyService {
                 },
             );
         }
+        Ok(())
     }
 }
 
@@ -1234,7 +1268,7 @@ mod tests {
         );
         let mut s2 = service(2, false);
         s2.submit(q(0, 0, 60_000)).unwrap();
-        let report = s2.into_report();
+        let report = s2.into_report().unwrap();
         assert_eq!(report.records.len(), 1);
         assert_eq!(report.summary.met, 1);
     }

@@ -1,0 +1,7 @@
+//! L1 annotated fixture: membership-only set, never iterated.
+
+pub fn dedup_count(xs: &[u32]) -> usize {
+    // Membership probes only; order is never observed. // lint: allow(unordered)
+    let mut seen = std::collections::HashSet::new();
+    xs.iter().filter(|x| seen.insert(**x)).count()
+}

@@ -1,0 +1,8 @@
+//! L1 negative fixture: ordered containers are the blessed replacement.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn build() -> (BTreeMap<u32, u32>, BTreeSet<u32>) {
+    (BTreeMap::new(), BTreeSet::new())
+}

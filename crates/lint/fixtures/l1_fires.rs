@@ -1,0 +1,8 @@
+//! L1 positive fixture: randomized-order containers in library code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

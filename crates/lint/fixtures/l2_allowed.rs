@@ -1,0 +1,7 @@
+//! L2 annotated fixture: a wall-clock read that never feeds results.
+
+pub fn stamp_ns() -> u128 {
+    // Operator-facing progress display only. // lint: allow(ambient)
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,9 @@
+//! L2 negative fixture: simulated time and a seeded RNG stream.
+
+pub fn now_ms(clock: u64) -> u64 {
+    clock
+}
+
+pub fn roll(seed: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}

@@ -1,0 +1,13 @@
+//! L2 positive fixture: ambient clock/entropy in a deterministic crate.
+
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn now() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

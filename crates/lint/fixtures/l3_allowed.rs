@@ -1,0 +1,7 @@
+//! L3 annotated fixture: a blessed one-off worker thread.
+
+pub fn run() {
+    // Watchdog thread, joined before any result is read. // lint: allow(thread-spawn)
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

@@ -1,0 +1,5 @@
+//! L3 negative fixture: no threading at all.
+
+pub fn run() -> u32 {
+    (0..4u32).map(|x| x * x).sum()
+}

@@ -1,0 +1,6 @@
+//! L3 positive fixture: ad-hoc thread spawning.
+
+pub fn run() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

@@ -1,0 +1,13 @@
+//! L4 annotated fixture: a documented programmer-error panic.
+
+use std::ops::Sub;
+
+pub struct Millis(pub u64);
+
+impl Sub for Millis {
+    type Output = Millis;
+    fn sub(self, rhs: Millis) -> Millis {
+        // Mirrors std::time::Duration: underflow is a programmer error.
+        Millis(self.0.checked_sub(rhs.0).expect("underflow")) // lint: allow(panic)
+    }
+}

@@ -1,0 +1,18 @@
+//! L4 negative fixture: failures routed through Result.
+
+pub fn first(v: &[u32]) -> Result<u32, &'static str> {
+    v.first().copied().ok_or("empty slice")
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    v.get(1).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1u32, 2];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

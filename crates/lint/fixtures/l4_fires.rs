@@ -1,0 +1,17 @@
+//! L4 positive fixture: panicking APIs in core/sim library code.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("needs two elements")
+}
+
+pub fn boom() -> ! {
+    panic!("library code must not abort the caller")
+}
+
+pub fn later() -> u32 {
+    unreachable!("not yet")
+}

@@ -1,0 +1,8 @@
+//! L5 annotated fixture: an audited float-to-int rounding cast.
+
+pub fn round_ms(ms: f64) -> u64 {
+    if !ms.is_finite() || ms <= 0.0 {
+        return 0;
+    }
+    ms.round() as u64 // lint: allow(cast)
+}

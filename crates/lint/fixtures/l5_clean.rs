@@ -1,0 +1,10 @@
+//! L5 negative fixture: checked conversions (and float casts, which L5
+//! deliberately ignores — precision loss is not silent truncation).
+
+pub fn count(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+pub fn ratio(n: usize, d: usize) -> f64 {
+    n as f64 / d.max(1) as f64
+}

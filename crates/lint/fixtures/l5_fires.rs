@@ -1,0 +1,9 @@
+//! L5 positive fixture: bare integer casts in the simulator.
+
+pub fn index(id: u32) -> usize {
+    id as usize
+}
+
+pub fn count(n: usize) -> u32 {
+    n as u32
+}

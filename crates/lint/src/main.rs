@@ -1,0 +1,76 @@
+//! `thrifty-lint` CLI: walk source trees and report determinism/robustness
+//! rule violations.
+//!
+//! ```text
+//! cargo run -p thrifty-lint -- crates                # human-readable
+//! cargo run -p thrifty-lint -- crates --format json  # machine-readable
+//! ```
+//!
+//! Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+use thrifty_lint::{lint_tree, render_json, render_text, LintReport};
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut roots: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!("thrifty-lint: unknown format {other:?} (use text|json)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: thrifty-lint [PATH ...] [--format text|json]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("thrifty-lint: unknown option {other}");
+                return ExitCode::from(2);
+            }
+            path => roots.push(path.to_string()),
+        }
+    }
+    if roots.is_empty() {
+        roots.push("crates".to_string());
+    }
+
+    let mut report = LintReport {
+        files_scanned: 0,
+        findings: Vec::new(),
+    };
+    for root in &roots {
+        match lint_tree(Path::new(root)) {
+            Ok(part) => {
+                report.files_scanned += part.files_scanned;
+                report.findings.extend(part.findings);
+            }
+            Err(e) => {
+                eprintln!("thrifty-lint: cannot scan {root}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match format {
+        Format::Text => print!("{}", render_text(&report)),
+        Format::Json => println!("{}", render_json(&report)),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}

@@ -1,0 +1,199 @@
+//! Fixture proofs: every rule fires on its known-bad snippet, stays quiet
+//! on the clean variant, and respects the `// lint: allow(...)` escape
+//! hatch. The fixtures live under `crates/lint/fixtures/` (a directory the
+//! tree walker never descends into, so the deliberately-bad code cannot
+//! pollute a real lint run).
+
+use thrifty_lint::{lint_source, render_json, Finding, LintReport};
+
+/// Lints a fixture as if it lived at the given synthetic path (rule
+/// scoping derives from the path's crate component).
+fn lint_fixture(source: &str, synthetic_path: &str) -> Vec<Finding> {
+    lint_source(synthetic_path, source)
+}
+
+fn rules(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[test]
+fn l1_fires_on_hash_containers_and_not_on_btree() {
+    let fired = lint_fixture(
+        include_str!("../fixtures/l1_fires.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(!fired.is_empty(), "L1 must fire");
+    assert!(rules(&fired).iter().all(|r| *r == "L1"), "{fired:?}");
+
+    let clean = lint_fixture(
+        include_str!("../fixtures/l1_clean.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_fixture(
+        include_str!("../fixtures/l1_allowed.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn l2_fires_on_ambient_state_in_deterministic_crates_only() {
+    let src = include_str!("../fixtures/l2_fires.rs");
+    let fired = lint_fixture(src, "crates/sim/src/fixture.rs");
+    assert!(!fired.is_empty(), "L2 must fire");
+    assert!(rules(&fired).iter().all(|r| *r == "L2"), "{fired:?}");
+
+    // The same source is legal in the bench harness, which is allowed to
+    // read the wall clock.
+    assert!(lint_fixture(src, "crates/bench/src/fixture.rs").is_empty());
+
+    let clean = lint_fixture(
+        include_str!("../fixtures/l2_clean.rs"),
+        "crates/workload/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_fixture(
+        include_str!("../fixtures/l2_allowed.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn l3_fires_on_spawn_everywhere_but_the_parallel_module() {
+    let src = include_str!("../fixtures/l3_fires.rs");
+    let fired = lint_fixture(src, "crates/workload/src/fixture.rs");
+    assert_eq!(rules(&fired), vec!["L3"]);
+
+    // The deterministic fork-join executor is the one blessed home.
+    assert!(lint_fixture(src, "crates/bench/src/parallel.rs").is_empty());
+
+    let clean = lint_fixture(
+        include_str!("../fixtures/l3_clean.rs"),
+        "crates/bench/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_fixture(
+        include_str!("../fixtures/l3_allowed.rs"),
+        "crates/bench/src/fixture.rs",
+    );
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn l4_fires_on_each_panicking_api() {
+    let fired = lint_fixture(
+        include_str!("../fixtures/l4_fires.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert_eq!(rules(&fired), vec!["L4"; 4], "{fired:?}");
+    let messages: Vec<&str> = fired.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains(".unwrap()")));
+    assert!(messages.iter().any(|m| m.contains(".expect()")));
+    assert!(messages.iter().any(|m| m.contains("panic!")));
+    assert!(messages.iter().any(|m| m.contains("unreachable!")));
+
+    // Bench/workload code may panic (experiment harness policy).
+    assert!(lint_fixture(
+        include_str!("../fixtures/l4_fires.rs"),
+        "crates/bench/src/fixture.rs"
+    )
+    .is_empty());
+
+    let clean = lint_fixture(
+        include_str!("../fixtures/l4_clean.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_fixture(
+        include_str!("../fixtures/l4_allowed.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn l5_fires_on_bare_integer_casts_in_sim_only() {
+    let src = include_str!("../fixtures/l5_fires.rs");
+    let fired = lint_fixture(src, "crates/sim/src/fixture.rs");
+    assert_eq!(rules(&fired), vec!["L5", "L5"], "{fired:?}");
+
+    // Integer casts elsewhere are the other crates' business.
+    assert!(lint_fixture(src, "crates/core/src/fixture.rs").is_empty());
+
+    let clean = lint_fixture(
+        include_str!("../fixtures/l5_clean.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_fixture(
+        include_str!("../fixtures/l5_allowed.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn findings_round_trip_through_json() {
+    let findings = lint_fixture(
+        include_str!("../fixtures/l5_fires.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    let report = LintReport {
+        files_scanned: 1,
+        findings,
+    };
+    let json = render_json(&report);
+    let back: LintReport = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(back, report);
+    // The machine format carries everything the text format prints.
+    for f in &report.findings {
+        assert!(json.contains(&f.rule));
+        assert!(json.contains(&f.snippet));
+    }
+}
+
+#[test]
+fn every_rule_has_a_firing_fixture() {
+    // Belt and braces for the acceptance criterion: enumerate the firing
+    // fixtures and check the union of rules is exactly L1..L5.
+    let cases = [
+        (
+            include_str!("../fixtures/l1_fires.rs"),
+            "crates/core/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/l2_fires.rs"),
+            "crates/sim/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/l3_fires.rs"),
+            "crates/workload/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/l4_fires.rs"),
+            "crates/core/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/l5_fires.rs"),
+            "crates/sim/src/f.rs",
+        ),
+    ];
+    let mut seen = std::collections::BTreeSet::new();
+    for (src, path) in cases {
+        for f in lint_source(path, src) {
+            seen.insert(f.rule);
+        }
+    }
+    let want: std::collections::BTreeSet<String> = ["L1", "L2", "L3", "L4", "L5"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(seen, want);
+}

@@ -8,6 +8,7 @@
 //! cluster (submit a query, provision an instance, ...). Determinism is
 //! total: same inputs, same event sequence, bit for bit.
 
+use crate::convert;
 use crate::cost::isolated_latency_ms;
 use crate::error::{SimError, SimResult};
 use crate::instance::{InstanceId, InstanceState, MppdbInstance, RunningQuery};
@@ -209,7 +210,7 @@ pub struct Cluster {
 impl Cluster {
     /// Creates a cluster with all nodes hibernated.
     pub fn new(config: ClusterConfig) -> Self {
-        let nodes: Vec<Node> = (0..config.total_nodes as u32)
+        let nodes: Vec<Node> = (0..convert::count_u32(config.total_nodes))
             .map(|i| Node::new(NodeId(i)))
             .collect();
         // Pop from the back => nodes are handed out in ascending id order.
@@ -266,7 +267,7 @@ impl Cluster {
     /// Looks up an instance.
     pub fn instance(&self, id: InstanceId) -> SimResult<&MppdbInstance> {
         self.instances
-            .get(id.0 as usize)
+            .get(id.index())
             .ok_or(SimError::UnknownInstance(id))
     }
 
@@ -277,7 +278,7 @@ impl Cluster {
 
     fn instance_mut(&mut self, id: InstanceId) -> SimResult<&mut MppdbInstance> {
         self.instances
-            .get_mut(id.0 as usize)
+            .get_mut(id.index())
             .ok_or(SimError::UnknownInstance(id))
     }
 
@@ -302,11 +303,12 @@ impl Cluster {
                 available: self.free.len(),
             });
         }
-        let mut group = Vec::with_capacity(node_count);
-        for _ in 0..node_count {
-            let id = self.free.pop().expect("checked above");
-            self.nodes[id.0 as usize].set_state(NodeState::Starting);
-            group.push(id);
+        // Detach the tail of the LIFO pool and reverse it so the group keeps
+        // the historical hand-out order (ascending node id).
+        let mut group = self.free.split_off(self.free.len() - node_count);
+        group.reverse();
+        for id in &group {
+            self.nodes[id.index()].set_state(NodeState::Starting);
         }
         let total_gb: f64 = tenants.iter().map(|(_, gb)| gb).sum();
         let ready_at = self.now
@@ -314,7 +316,7 @@ impl Cluster {
                 .config
                 .provisioning
                 .provision_time(node_count, total_gb);
-        let id = InstanceId(self.instances.len() as u32);
+        let id = InstanceId(convert::count_u32(self.instances.len()));
         let hosted: BTreeMap<SimTenantId, f64> = tenants.iter().copied().collect();
         self.instances
             .push(MppdbInstance::new(id, group, hosted, ready_at, self.now));
@@ -328,13 +330,13 @@ impl Cluster {
     }
 
     fn mark_instance_ready(&mut self, id: InstanceId) {
-        let nodes: Vec<NodeId> = self.instances[id.0 as usize].nodes().to_vec();
+        let nodes: Vec<NodeId> = self.instances[id.index()].nodes().to_vec();
         for n in nodes {
-            if self.nodes[n.0 as usize].state() == NodeState::Starting {
-                self.nodes[n.0 as usize].set_state(NodeState::Running);
+            if self.nodes[n.index()].state() == NodeState::Starting {
+                self.nodes[n.index()].set_state(NodeState::Running);
             }
         }
-        self.instances[id.0 as usize].set_state(InstanceState::Ready);
+        self.instances[id.index()].set_state(InstanceState::Ready);
     }
 
     /// Decommissions an instance, returning its nodes to the hibernated
@@ -349,12 +351,12 @@ impl Cluster {
         inst.set_state(InstanceState::Decommissioned);
         inst.version += 1; // invalidate pending completion checks
         let aborted = inst.drain_running().len();
-        inst.stats.cancelled += aborted as u64;
+        inst.stats.cancelled += convert::count_u64(aborted);
         let nodes: Vec<NodeId> = inst.nodes().to_vec();
         let mut freed = false;
         for n in nodes {
-            if self.nodes[n.0 as usize].state() != NodeState::Failed {
-                self.nodes[n.0 as usize].set_state(NodeState::Hibernated);
+            if self.nodes[n.index()].state() != NodeState::Failed {
+                self.nodes[n.index()].set_state(NodeState::Hibernated);
                 self.free.push(n);
                 freed = true;
             }
@@ -480,7 +482,7 @@ impl Cluster {
 
     /// Schedules a node failure at absolute time `at`.
     pub fn inject_node_failure(&mut self, node: NodeId, at: SimTime) -> SimResult<()> {
-        if node.0 as usize >= self.nodes.len() {
+        if node.index() >= self.nodes.len() {
             return Err(SimError::UnknownNode(node));
         }
         if at < self.now {
@@ -500,11 +502,14 @@ impl Cluster {
     /// chronological order.
     pub fn run_until(&mut self, until: SimTime) -> Vec<SimEvent> {
         let mut out = Vec::new();
-        while let Some(Reverse(p)) = self.heap.peek() {
-            if p.at > until {
-                break;
+        loop {
+            match self.heap.peek() {
+                Some(Reverse(p)) if p.at <= until => {}
+                _ => break,
             }
-            let Reverse(p) = self.heap.pop().expect("peeked");
+            let Some(Reverse(p)) = self.heap.pop() else {
+                break;
+            };
             self.now = self.now.max(p.at);
             self.process(p, &mut out);
         }
@@ -526,7 +531,7 @@ impl Cluster {
     fn process(&mut self, p: Pending, out: &mut Vec<SimEvent>) {
         match p.kind {
             PendingKind::InstanceReady(id) => {
-                if self.instances[id.0 as usize].state() == InstanceState::Decommissioned {
+                if self.instances[id.index()].state() == InstanceState::Decommissioned {
                     return;
                 }
                 self.mark_instance_ready(id);
@@ -537,7 +542,7 @@ impl Cluster {
             }
             PendingKind::CompletionCheck { instance, version } => {
                 let now = self.now;
-                let inst = &mut self.instances[instance.0 as usize];
+                let inst = &mut self.instances[instance.index()];
                 if inst.version != version || inst.state() == InstanceState::Decommissioned {
                     return; // stale: concurrency changed since scheduling
                 }
@@ -577,7 +582,7 @@ impl Cluster {
                 tenant,
                 gb_bits,
             } => {
-                let inst = &mut self.instances[instance.0 as usize];
+                let inst = &mut self.instances[instance.index()];
                 if inst.state() == InstanceState::Decommissioned {
                     return;
                 }
@@ -589,11 +594,11 @@ impl Cluster {
                 });
             }
             PendingKind::NodeFailure(node) => {
-                let state = self.nodes[node.0 as usize].state();
+                let state = self.nodes[node.index()].state();
                 if state == NodeState::Failed {
                     return; // already failed
                 }
-                self.nodes[node.0 as usize].set_state(NodeState::Failed);
+                self.nodes[node.index()].set_state(NodeState::Failed);
                 // Remove from the free pool if hibernated.
                 if state == NodeState::Hibernated {
                     self.free.retain(|n| *n != node);
@@ -618,7 +623,7 @@ impl Cluster {
                 });
                 if let Some(owner_id) = owner {
                     let now = p.at;
-                    let inst = &mut self.instances[owner_id.0 as usize];
+                    let inst = &mut self.instances[owner_id.index()];
                     // Settle progress at the healthy rate, then degrade: every
                     // in-flight query slows to effective/total from this
                     // instant, so the pending completion check is stale.
@@ -640,7 +645,7 @@ impl Cluster {
                     // (Chapter 4.4). With the pool empty the repair is queued
                     // and retried once nodes return (e.g. decommission).
                     if let Some(replacement) = self.free.pop() {
-                        self.nodes[replacement.0 as usize].set_state(NodeState::Starting);
+                        self.nodes[replacement.index()].set_state(NodeState::Starting);
                         let ready = p.at + self.config.provisioning.startup_time(1);
                         self.push_event(
                             ready,
@@ -667,11 +672,10 @@ impl Cluster {
             } => {
                 let now = p.at;
                 // The replacement itself may have been killed while starting.
-                let replacement_ok =
-                    self.nodes[replacement.0 as usize].state() != NodeState::Failed;
-                if self.instances[instance.0 as usize].state() == InstanceState::Decommissioned {
+                let replacement_ok = self.nodes[replacement.index()].state() != NodeState::Failed;
+                if self.instances[instance.index()].state() == InstanceState::Decommissioned {
                     if replacement_ok {
-                        self.nodes[replacement.0 as usize].set_state(NodeState::Hibernated);
+                        self.nodes[replacement.index()].set_state(NodeState::Hibernated);
                         self.free.push(replacement);
                         if !self.deferred.is_empty() {
                             self.push_event(now, PendingKind::DeferredReplacementRetry);
@@ -682,7 +686,7 @@ impl Cluster {
                 if !replacement_ok {
                     // Start over with another spare — or queue if none left.
                     if let Some(next) = self.free.pop() {
-                        self.nodes[next.0 as usize].set_state(NodeState::Starting);
+                        self.nodes[next.index()].set_state(NodeState::Starting);
                         let ready = now + self.config.provisioning.startup_time(1);
                         self.push_event(
                             ready,
@@ -707,8 +711,8 @@ impl Cluster {
                     }
                     return;
                 }
-                self.nodes[replacement.0 as usize].set_state(NodeState::Running);
-                let inst = &mut self.instances[instance.0 as usize];
+                self.nodes[replacement.index()].set_state(NodeState::Running);
+                let inst = &mut self.instances[instance.index()];
                 // Settle progress at the degraded rate, then restore
                 // parallelism: in-flight queries speed back up from here.
                 inst.advance(now);
@@ -726,16 +730,23 @@ impl Cluster {
                 });
             }
             PendingKind::DeferredReplacementRetry => {
-                while !self.deferred.is_empty() && !self.free.is_empty() {
-                    let (instance, failed) = self.deferred.pop_front().expect("checked");
-                    let inst = &self.instances[instance.0 as usize];
+                while !self.free.is_empty() {
+                    let Some((instance, failed)) = self.deferred.pop_front() else {
+                        break;
+                    };
+                    let inst = &self.instances[instance.index()];
                     if inst.state() == InstanceState::Decommissioned
                         || inst.failed_node_count() == 0
                     {
                         continue; // stale entry: nothing left to repair
                     }
-                    let replacement = self.free.pop().expect("checked");
-                    self.nodes[replacement.0 as usize].set_state(NodeState::Starting);
+                    let Some(replacement) = self.free.pop() else {
+                        // Unreachable (the loop condition holds the pool
+                        // non-empty); requeue the entry rather than drop it.
+                        self.deferred.push_front((instance, failed));
+                        break;
+                    };
+                    self.nodes[replacement.index()].set_state(NodeState::Starting);
                     let ready = p.at + self.config.provisioning.startup_time(1);
                     self.push_event(
                         ready,

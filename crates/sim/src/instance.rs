@@ -16,6 +16,7 @@
 //! and speeds back up when the replacement joins. Progress is bookkept as
 //! *full-parallelism* work paid down at the current degradation factor.
 
+use crate::convert;
 use crate::node::NodeId;
 use crate::query::{QueryId, QuerySpec, SimTenantId};
 use crate::time::SimTime;
@@ -26,6 +27,13 @@ use std::fmt;
 /// Identifier of an MPPDB instance within a [`crate::cluster::Cluster`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct InstanceId(pub u32);
+
+impl InstanceId {
+    /// The instance's slot in the cluster's instance table (lossless).
+    pub fn index(self) -> usize {
+        convert::index_u32(self.0)
+    }
+}
 
 impl fmt::Display for InstanceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -286,7 +294,7 @@ impl MppdbInstance {
             return;
         }
         self.stats.busy_ms += dt;
-        self.stats.concurrency_ms += dt * k as u64;
+        self.stats.concurrency_ms += dt * convert::count_u64(k);
         let share = dt as f64 * self.degradation_factor() / k as f64;
         for q in &mut self.running {
             q.remaining_ms = (q.remaining_ms - share).max(0.0);
@@ -312,7 +320,7 @@ impl MppdbInstance {
         // (factor = 1.0 on a healthy instance, so the healthy schedule is
         // unchanged). Ceil to the next millisecond tick so the completion
         // check never fires early.
-        let wait = (min_rem * k as f64 / self.degradation_factor()).ceil() as u64;
+        let wait = convert::ceil_ms_f64(min_rem * k as f64 / self.degradation_factor());
         Some(now + crate::time::SimDuration::from_ms(wait))
     }
 
@@ -335,7 +343,10 @@ impl MppdbInstance {
     pub(crate) fn push_running(&mut self, q: RunningQuery) {
         self.running.push(q);
         self.stats.submitted += 1;
-        self.stats.max_concurrency = self.stats.max_concurrency.max(self.running.len() as u32);
+        self.stats.max_concurrency = self
+            .stats
+            .max_concurrency
+            .max(convert::count_u32(self.running.len()));
     }
 
     pub(crate) fn drain_running(&mut self) -> Vec<RunningQuery> {

@@ -39,8 +39,12 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code reports failures through `SimError`; panicking escapes are
+// caught twice — by thrifty-lint rule L4 and by clippy (tests are exempt).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cluster;
+pub mod convert;
 pub mod cost;
 pub mod error;
 pub mod failure;

@@ -4,6 +4,7 @@
 //! layer and the experiment harness (e.g. the normalized query performance
 //! plots of Figure 7.7).
 
+use crate::convert;
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -36,8 +37,9 @@ impl LatencyStats {
         if self.samples_ms.is_empty() {
             return SimDuration::ZERO;
         }
-        let sum: u128 = self.samples_ms.iter().map(|&x| x as u128).sum();
-        SimDuration::from_ms((sum / self.samples_ms.len() as u128) as u64)
+        let sum: u128 = self.samples_ms.iter().map(|&x| u128::from(x)).sum();
+        let count = u128::from(convert::count_u64(self.samples_ms.len()));
+        SimDuration::from_ms(convert::ms_from_u128(sum / count))
     }
 
     /// Maximum, or zero if empty.
@@ -57,7 +59,7 @@ impl LatencyStats {
             self.sorted = true;
         }
         let n = self.samples_ms.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let rank = convert::ceil_rank_f64(q * n as f64).clamp(1, n);
         SimDuration::from_ms(self.samples_ms[rank - 1])
     }
 }

@@ -12,6 +12,13 @@ use std::fmt;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
+impl NodeId {
+    /// The node's slot in the cluster's node table (lossless).
+    pub fn index(self) -> usize {
+        crate::convert::index_u32(self.0)
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "node{}", self.0)

@@ -86,19 +86,13 @@ impl SimDuration {
     /// Creates a duration from a float second count, rounding to the nearest
     /// millisecond. Negative and non-finite inputs map to zero.
     pub fn from_secs_f64(secs: f64) -> Self {
-        if !secs.is_finite() || secs <= 0.0 {
-            return SimDuration::ZERO;
-        }
-        SimDuration((secs * 1000.0).round() as u64)
+        SimDuration(crate::convert::round_ms_f64(secs * 1000.0))
     }
 
     /// Creates a duration from a float millisecond count, rounding to the
     /// nearest millisecond. Negative and non-finite inputs map to zero.
     pub fn from_ms_f64(ms: f64) -> Self {
-        if !ms.is_finite() || ms <= 0.0 {
-            return SimDuration::ZERO;
-        }
-        SimDuration(ms.round() as u64)
+        SimDuration(crate::convert::round_ms_f64(ms))
     }
 
     /// Milliseconds in this duration.
@@ -152,10 +146,13 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
+        // Mirrors std::time::Duration: `-` on an underflow is a programmer
+        // error and panics (there is a #[should_panic] test pinning this);
+        // fallible call sites use `saturating_sub` instead.
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
-                .expect("SimDuration subtraction underflow"),
+                .expect("SimDuration subtraction underflow"), // lint: allow(panic)
         )
     }
 }

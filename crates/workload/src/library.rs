@@ -11,7 +11,7 @@ use crate::rng::stream_rng;
 use crate::session::generate_session;
 use crate::templates::Benchmark;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// RNG stream label for session generation.
 const STREAM_SESSION: u64 = 0x5E55;
@@ -19,7 +19,7 @@ const STREAM_SESSION: u64 = 0x5E55;
 /// A corpus of pre-generated session logs.
 #[derive(Clone, Debug)]
 pub struct SessionLibrary {
-    sessions: HashMap<(u32, Benchmark), Vec<SessionLog>>,
+    sessions: BTreeMap<(u32, Benchmark), Vec<SessionLog>>,
 }
 
 impl SessionLibrary {
@@ -27,7 +27,7 @@ impl SessionLibrary {
     /// `(parallelism level, benchmark)` pair.
     pub fn generate(cfg: &GenerationConfig) -> Self {
         cfg.validate();
-        let mut sessions = HashMap::new();
+        let mut sessions = BTreeMap::new();
         for (li, &level) in cfg.parallelism_levels.iter().enumerate() {
             for (bi, &benchmark) in Benchmark::ALL.iter().enumerate() {
                 let mut trials = Vec::with_capacity(cfg.session_trials);

@@ -19,7 +19,7 @@ use crate::templates::{catalog, Benchmark};
 use mppdb_sim::prelude::*;
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-user state in the session driver.
 #[derive(Clone, Copy, Debug)]
@@ -66,13 +66,13 @@ pub fn generate_session(
         })
         .collect();
 
-    let mut owner: HashMap<QueryId, usize> = HashMap::new();
+    let mut owner: BTreeMap<QueryId, usize> = BTreeMap::new();
     let mut queries: Vec<LoggedQuery> = Vec::new();
     let mut busy_raw: Vec<(u64, u64)> = Vec::new();
 
     let record = |completions: Vec<SimEvent>,
                   users: &mut Vec<UserState>,
-                  owner: &mut HashMap<QueryId, usize>,
+                  owner: &mut BTreeMap<QueryId, usize>,
                   queries: &mut Vec<LoggedQuery>,
                   busy_raw: &mut Vec<(u64, u64)>,
                   rng: &mut SmallRng,

@@ -21,7 +21,7 @@ use std::fmt;
 
 /// Which benchmark a tenant's data and queries come from. §7.1: "A tenant may
 /// either hold TPC-H data or TPC-DS data (with equal probability)."
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum Benchmark {
     /// TPC-H style decision-support workload (22 templates).
     TpcH,

@@ -10,7 +10,7 @@
 
 use thrifty::prelude::*;
 
-fn main() {
+fn main() -> ThriftyResult<()> {
     let mut router = QueryRouter::new(3);
     let (t1, t2, t4, t9) = (TenantId(1), TenantId(2), TenantId(4), TenantId(9));
 
@@ -29,18 +29,18 @@ fn main() {
     );
 
     // T4 finishes Q1 and Q3; MPPDB0 frees up.
-    router.complete(0, t4);
-    router.complete(0, t4);
+    router.complete(0, t4)?;
+    router.complete(0, t4)?;
     step("Q6", router.route(t1)); // MPPDB0 free again
 
     // T2 finishes; then T4 returns — no longer sticky, lands on a free MPPDB.
-    router.complete(1, t2);
-    router.complete(1, t2);
+    router.complete(1, t2)?;
+    router.complete(1, t2)?;
     step("Q7", router.route(t4));
 
     // T1's Q6 finishes; Q8 arrives right after the "short think-time":
     // T1 counts as inactive, so Q8 is routed fresh (here: MPPDB0 again).
-    router.complete(0, t1);
+    router.complete(0, t1)?;
     step("Q8", router.route(t1));
 
     // And the overflow case the figure does not show: a fourth tenant
@@ -50,4 +50,5 @@ fn main() {
         "Q9   -> MPPDB{} ({:?})  <- rule 4: the SLA-risky path Chapter 6 tunes U for",
         overflow.mppdb, overflow.kind
     );
+    Ok(())
 }

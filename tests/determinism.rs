@@ -84,6 +84,85 @@ fn different_seeds_differ() {
     assert_ne!(a.2, b.2);
 }
 
+/// The scale-out activation sweeps the in-flight query map and re-submits
+/// the movers' queued queries; fresh query ids are handed out in sweep
+/// order, so that order is part of the determinism contract. The map is a
+/// `BTreeMap`, which makes the sweep order a function of the query ids
+/// alone — two runs produce byte-identical reports even when the tenant
+/// histories are supplied in a different (shuffled) insertion order. A
+/// `HashMap` fails this test: every map instance draws a fresh
+/// `RandomState`, so the sweep order changes from run to run.
+#[test]
+fn scale_out_migration_is_byte_identical_across_shuffled_runs() {
+    use mppdb_sim::query::{QueryTemplate, TemplateId};
+    use mppdb_sim::time::{SimDuration, SimTime};
+
+    let run = |ratios: Vec<(TenantId, f64)>| -> String {
+        let plan = DeploymentPlan {
+            groups: vec![TenantGroupPlan::new(
+                vec![
+                    Tenant::new(TenantId(0), 2, 200.0),
+                    Tenant::new(TenantId(1), 2, 200.0),
+                    Tenant::new(TenantId(2), 2, 200.0),
+                ],
+                1,
+                2,
+            )],
+        };
+        let config = ServiceConfig::builder()
+            .elastic_scaling(true)
+            .scaling_check_interval_ms(10_000)
+            .build();
+        let template = QueryTemplate::new(TemplateId(1), 600.0, 0.0);
+        let mut service = ThriftyService::deploy(&plan, 16, [template], config).unwrap();
+        service.set_historical_activity(ratios);
+        // Tenant 0 hammers the single shared MPPDB with back-to-back
+        // queries while tenants 1 and 2 submit periodically: the RT-TTP
+        // collapses, tenant 0 is flagged over-active (its history says it
+        // should be nearly idle), and the takeover migrates its backlog.
+        let q = |tenant: u32, submit_s: u64| IncomingQuery {
+            tenant: TenantId(tenant),
+            submit: SimTime::from_secs(submit_s),
+            template: TemplateId(1),
+            baseline: SimDuration::from_ms(60_000),
+        };
+        let mut queries = Vec::new();
+        for k in 0..400u64 {
+            queries.push(q(0, k * 20));
+        }
+        for k in 0..25u64 {
+            queries.push(q(1, 40 + k * 400));
+            queries.push(q(2, 160 + k * 400));
+        }
+        queries.sort_by_key(|e| (e.submit, e.tenant));
+        let report = service.replay(queries).unwrap();
+        assert!(
+            !report.scaling_events.is_empty(),
+            "the scenario must trigger elastic scaling"
+        );
+        assert!(
+            report.telemetry.counter("queries.migrated") > 0,
+            "the takeover must migrate queued queries"
+        );
+        serde_json::to_string(&report).unwrap()
+    };
+
+    let forward = run(vec![
+        (TenantId(0), 0.02),
+        (TenantId(1), 0.02),
+        (TenantId(2), 0.02),
+    ]);
+    let shuffled = run(vec![
+        (TenantId(2), 0.02),
+        (TenantId(0), 0.02),
+        (TenantId(1), 0.02),
+    ]);
+    assert_eq!(
+        forward, shuffled,
+        "shuffled tenant-history insertion must not change a single byte"
+    );
+}
+
 /// Runs the bench pipeline (histories → FFD/2-step comparison) at a given
 /// thread count and returns a byte-exact serialization of everything except
 /// wall-clock time. Both runs happen inside one `#[test]` because the

@@ -1,0 +1,35 @@
+//! Tier-1 enforcement of the determinism & robustness lint: `cargo test`
+//! fails if any `crates/*/src` file violates a thrifty-lint rule (see
+//! the rule table in `crates/lint/src/lib.rs` and ARCHITECTURE.md).
+//!
+//! Runs fully offline — the linter is a workspace crate with a hand-rolled
+//! tokenizer, so this test needs nothing beyond the checked-out tree.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let report = thrifty_lint::lint_tree(&root).expect("lint walk must succeed");
+    assert!(
+        report.files_scanned > 50,
+        "the walk must cover the whole workspace (saw {} files)",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "thrifty-lint found violations:\n{}",
+        thrifty_lint::render_text(&report)
+    );
+}
+
+#[test]
+fn the_json_format_is_stable_for_ci() {
+    // CI uploads `--format json` output as an artifact on failure; make
+    // sure a clean run serializes and round-trips.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let report = thrifty_lint::lint_tree(&root).expect("lint walk must succeed");
+    let json = thrifty_lint::render_json(&report);
+    let back: thrifty_lint::LintReport = serde_json::from_str(&json).expect("round-trip");
+    assert_eq!(back, report);
+}

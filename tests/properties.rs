@@ -224,14 +224,14 @@ fn router_never_loses_queries() {
                 running.push((route.mppdb, tenant));
             } else {
                 let (mppdb, tenant) = running.swap_remove(0);
-                router.complete(mppdb, tenant);
+                router.complete(mppdb, tenant).unwrap();
             }
             let distinct: std::collections::BTreeSet<u32> =
                 running.iter().map(|(_, t)| t.0).collect();
             assert_eq!(router.active_tenants(), distinct.len(), "case {case}");
         }
         for (mppdb, tenant) in running.drain(..) {
-            router.complete(mppdb, tenant);
+            router.complete(mppdb, tenant).unwrap();
         }
         assert_eq!(router.active_tenants(), 0, "case {case}");
         for j in 0..a {
@@ -259,7 +259,7 @@ fn monitor_rt_ttp_stays_in_unit_range() {
             } else {
                 let pos = running.iter().position(|x| *x == tenant).unwrap();
                 running.swap_remove(pos);
-                monitor.on_query_finish(tenant, now);
+                monitor.on_query_finish(tenant, now).unwrap();
             }
             let ttp = monitor.rt_ttp(now);
             assert!(

@@ -166,7 +166,8 @@ pub fn run_scenario(scenario: &Fig77Scenario, elastic_scaling: bool) -> Fig77Run
         .trace(TraceConfig::new(vec![0], 1_800_000)) // 30 min samples
         // Bounded event sample for the JSON artefact; counters stay exact.
         .telemetry(TelemetryConfig::default().with_event_capacity(5_000))
-        .build();
+        .build()
+        .expect("valid service config");
     let mut service = ThriftyService::deploy(
         &scenario.plan,
         total_nodes,

@@ -37,7 +37,8 @@ fn replay_day_one(harness: &Harness, corpus: &CorpusView) -> (Table, TelemetrySn
         // Keep a bounded sample of the event stream in the JSON artefact;
         // counters and histograms stay exact.
         .telemetry(TelemetryConfig::default().with_event_capacity(5_000))
-        .build();
+        .build()
+        .expect("valid service config");
     let mut service = ThriftyService::deploy(
         &advice.plan,
         advice.plan.nodes_used() as usize + 8,

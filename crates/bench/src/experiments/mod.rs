@@ -2,6 +2,7 @@
 //! the experiment index.
 
 pub mod ablate;
+pub mod drift;
 pub mod fig1_1;
 pub mod fig5_3;
 pub mod fig7_6;
@@ -15,9 +16,9 @@ use crate::pipeline::Harness;
 use crate::report::ExperimentResult;
 
 /// Every experiment id, in presentation order.
-pub const ALL_IDS: [&str; 13] = [
+pub const ALL_IDS: [&str; 14] = [
     "fig1.1a", "fig1.1b", "fig1.1c", "tab5.1", "fig5.3", "tab7.1", "fig7.1", "fig7.2", "fig7.3",
-    "fig7.4", "fig7.5", "fig7.6", "fig7.7",
+    "fig7.4", "fig7.5", "fig7.6", "fig7.7", "drift",
 ];
 
 /// Experiments that need the generated corpus (and therefore a harness).
@@ -46,6 +47,7 @@ pub fn run(id: &str, harness: &Harness) -> Option<ExperimentResult> {
         "fig7.5" => sweeps::fig_7_5(harness),
         "fig7.6" => fig7_6::fig_7_6(harness),
         "fig7.7" => fig7_7::fig_7_7(harness),
+        "drift" => drift::drift(),
         "headline" => headline::headline(harness),
         "ablate" => ablate::ablate(harness),
         _ => return None,

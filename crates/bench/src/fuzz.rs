@@ -5,8 +5,9 @@
 //! check produces wrong latencies, not crashes. This module drives seeded
 //! randomized schedules of submits, node failures, decommissions, and
 //! scale-outs against the simulator ([`fuzz_cluster`]) and the full
-//! service loop ([`fuzz_service`]), checking cluster-wide invariants after
-//! every event batch:
+//! service loop ([`fuzz_service`]), and the tenant-lifecycle /
+//! re-consolidation engine ([`fuzz_lifecycle`]), checking cluster-wide
+//! invariants after every event batch:
 //!
 //! * **query conservation** — submitted = completed + cancelled + running,
 //!   on the harness ledger *and* on the per-instance stats;
@@ -371,7 +372,8 @@ pub fn fuzz_service(seed: u64) -> Result<ServiceFuzzOutcome, String> {
         ServiceConfig::builder()
             .elastic_scaling(false)
             .telemetry(TelemetryConfig::default())
-            .build(),
+            .build()
+            .expect("valid service config"),
     )
     .map_err(|e| format!("seed {seed}: deploy failed: {e}"))?;
 
@@ -515,8 +517,290 @@ fn check_service_report(seed: u64, n: u64, report: &ServiceReport) -> Result<(),
     Ok(())
 }
 
-/// Runs `fuzz_cluster` and `fuzz_service` for every seed in
-/// `start..start + count`, returning the failure messages (empty = pass).
+/// Deterministic digest of one tenant-lifecycle fuzz schedule
+/// (register / deregister / re-consolidation cycles interleaved with
+/// queries and time).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct LifecycleFuzzOutcome {
+    /// The schedule seed.
+    pub seed: u64,
+    /// Actions executed.
+    pub steps: u32,
+    /// Tenants registered during the run.
+    pub registered: u64,
+    /// Tenants deregistered during the run.
+    pub deregistered: u64,
+    /// Re-consolidation cycles completed.
+    pub cycles: u64,
+    /// Queries submitted.
+    pub submitted: u64,
+    /// The final service report, serialized.
+    pub report_json: String,
+}
+
+/// Runs one seeded randomized tenant-lifecycle schedule through
+/// [`ThriftyService`]: queries, time, registrations, deregistrations, and
+/// re-consolidation cycles interleave freely, and after every step the
+/// harness checks that
+///
+/// * every live tenant stays **routable** — its serving group exists, is
+///   not retired, and still has instances;
+/// * a group's replica count never drops below the count it went live
+///   with while it serves tenants (the mid-migration replica floor);
+/// * at quiescence **no query is lost or double-completed** (submitted =
+///   completed, zero cancelled, one SLA record per completion) and every
+///   bulk load that started also finished.
+pub fn fuzz_lifecycle(seed: u64) -> Result<LifecycleFuzzOutcome, String> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6A09_E667_F3BC_C908);
+    let template = QueryTemplate::new(TemplateId(2), 150.0, 0.0);
+    let a = rng.gen_range(1u32..3);
+    let members = |base: u32| -> Vec<Tenant> {
+        (base..base + 2)
+            .map(|i| Tenant::new(TenantId(i), 2, 100.0 + f64::from(i) * 25.0))
+            .collect()
+    };
+    let plan = DeploymentPlan {
+        groups: vec![
+            TenantGroupPlan::new(members(0), a, 2),
+            TenantGroupPlan::new(members(2), a, 2),
+        ],
+    };
+    let total_nodes = rng.gen_range(14usize..30);
+    let mut service = ThriftyService::deploy(
+        &plan,
+        total_nodes,
+        [template],
+        ServiceConfig::builder()
+            .elastic_scaling(false)
+            .monitor_window_ms(4 * 3_600_000)
+            .telemetry(TelemetryConfig::default().with_event_capacity(20_000))
+            .build()
+            .map_err(|e| format!("seed {seed}: config: {e}"))?,
+    )
+    .map_err(|e| format!("seed {seed}: deploy failed: {e}"))?;
+    let recon = Reconsolidator::new(
+        AdvisorConfig {
+            replication: a,
+            sla_p: 0.999,
+            epoch: EpochConfig::new(10_000, 4 * 3_600_000),
+            algorithm: GroupingAlgorithm::TwoStep,
+            exclusion: ExclusionPolicy::default(),
+        },
+        1,
+    );
+
+    let mut next_tenant = 100u32;
+    let mut registered = 0u64;
+    let mut deregistered = 0u64;
+    let mut submitted = 0u64;
+    // Replica floor: the instance count each group went live with.
+    let mut floors: Vec<usize> = Vec::new();
+    let steps = 60u32;
+    for step in 0..steps {
+        let roll: u32 = rng.gen_range(0u32..100);
+        if roll < 30 {
+            // Let time pass (bulk loads land, queries finish, groups drain).
+            let dt = rng.gen_range(60_000u64..1_200_000);
+            let target = SimTime::from_ms(service.log_now().as_ms() + dt);
+            service
+                .advance_log_time(target)
+                .map_err(|e| format!("seed {seed} step {step}: advance: {e}"))?;
+        } else if roll < 60 {
+            // Submit a query for a random live tenant (parked included).
+            let live = service.live_tenants();
+            if let Some(&tenant) = pick(&mut rng, &live) {
+                let data_gb = rng.gen_range(50.0..300.0);
+                let baseline = SimDuration::from_ms_f64(mppdb_sim::cost::isolated_latency_ms(
+                    &template, data_gb, 2,
+                ));
+                service
+                    .submit(IncomingQuery {
+                        tenant,
+                        submit: service.log_now(),
+                        template: template.id,
+                        baseline,
+                    })
+                    .map_err(|e| format!("seed {seed} step {step}: submit: {e}"))?;
+                submitted += 1;
+            }
+        } else if roll < 75 {
+            // Register a fresh tenant.
+            let t = Tenant::new(TenantId(next_tenant), 2, rng.gen_range(20.0..200.0));
+            next_tenant += 1;
+            service
+                .register_tenant(t)
+                .map_err(|e| format!("seed {seed} step {step}: register: {e}"))?;
+            registered += 1;
+        } else if roll < 85 {
+            // Deregister a random live tenant, keeping a quorum alive.
+            let live = service.live_tenants();
+            if live.len() > 2 {
+                if let Some(&tenant) = pick(&mut rng, &live) {
+                    service
+                        .deregister_tenant(tenant)
+                        .map_err(|e| format!("seed {seed} step {step}: deregister: {e}"))?;
+                    deregistered += 1;
+                }
+            }
+        } else {
+            // Attempt a re-consolidation cycle from observed activity.
+            if !service.reconsolidation_active() && !service.has_pending_registrations() {
+                let plan = recon.plan(&service);
+                if !plan.is_noop() {
+                    match service.begin_reconsolidation(&plan) {
+                        Ok(()) => {}
+                        // Tight pools legitimately reject a double-run.
+                        Err(ThriftyError::Sim(SimError::InsufficientNodes { .. })) => {}
+                        Err(e) => {
+                            return Err(format!("seed {seed} step {step}: begin cycle: {e}"));
+                        }
+                    }
+                }
+            }
+        }
+        check_lifecycle_invariants(&service, &mut floors, seed, step)?;
+    }
+
+    service
+        .drain()
+        .map_err(|e| format!("seed {seed}: final drain: {e}"))?;
+    check_lifecycle_invariants(&service, &mut floors, seed, steps)?;
+    let report = service.report();
+    check_lifecycle_quiescence(seed, submitted, registered, deregistered, a, &report)?;
+    let report_json = serde_json::to_string(&report)
+        .map_err(|e| format!("seed {seed}: report serialization failed: {e}"))?;
+    Ok(LifecycleFuzzOutcome {
+        seed,
+        steps,
+        registered,
+        deregistered,
+        cycles: service.reconsolidation_cycles(),
+        submitted,
+        report_json,
+    })
+}
+
+/// Stepwise lifecycle invariants: live tenants routable, replica floors
+/// respected.
+fn check_lifecycle_invariants(
+    service: &ThriftyService,
+    floors: &mut Vec<usize>,
+    seed: u64,
+    step: u32,
+) -> Result<(), String> {
+    for tenant in service.live_tenants() {
+        let Some(gi) = service.group_of(tenant) else {
+            return Err(format!(
+                "seed {seed} step {step}: live tenant {tenant:?} has no serving group"
+            ));
+        };
+        if service.group_is_retired(gi) {
+            return Err(format!(
+                "seed {seed} step {step}: tenant {tenant:?} routed to retired group {gi}"
+            ));
+        }
+        let instances = service.group_instances(gi).map_or(0, <[_]>::len);
+        if instances == 0 {
+            return Err(format!(
+                "seed {seed} step {step}: tenant {tenant:?} routed to empty group {gi}"
+            ));
+        }
+    }
+    // A group's replica count, once live, never drops while it serves
+    // tenants; it only goes to zero when the group retires and drains.
+    for gi in 0..service.group_count() {
+        let n = service.group_instances(gi).map_or(0, <[_]>::len);
+        if gi >= floors.len() {
+            floors.push(n);
+            continue;
+        }
+        let serving = service
+            .group_members(gi)
+            .is_some_and(|members| !members.is_empty());
+        if serving && !service.group_is_retired(gi) && n < floors[gi] {
+            return Err(format!(
+                "seed {seed} step {step}: group {gi} dropped to {n} replicas below \
+                 its floor {}",
+                floors[gi]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Quiescence invariants: query conservation across cutovers, bulk-load
+/// and lifecycle counter reconciliation.
+fn check_lifecycle_quiescence(
+    seed: u64,
+    submitted: u64,
+    registered: u64,
+    deregistered: u64,
+    replication: u32,
+    report: &ServiceReport,
+) -> Result<(), String> {
+    let t = &report.telemetry;
+    let counted = t.counter("queries.submitted");
+    let completed = t.counter("queries.completed");
+    let cancelled = t.counter("queries.cancelled");
+    if counted != submitted {
+        return Err(format!(
+            "seed {seed}: {counted} submissions counted for {submitted} driven queries"
+        ));
+    }
+    if cancelled != 0 {
+        return Err(format!(
+            "seed {seed}: {cancelled} queries cancelled — cutover must not drop queries"
+        ));
+    }
+    if completed != submitted {
+        return Err(format!(
+            "seed {seed}: {completed} completions for {submitted} submissions after drain"
+        ));
+    }
+    if report.records.len() as u64 != completed {
+        return Err(format!(
+            "seed {seed}: {} SLA records for {completed} completions (lost or \
+             double-completed queries)",
+            report.records.len()
+        ));
+    }
+    if t.counter("tenants.registered") != registered {
+        return Err(format!(
+            "seed {seed}: counter tenants.registered = {} but the driver registered \
+             {registered}",
+            t.counter("tenants.registered")
+        ));
+    }
+    if t.counter("tenants.deregistered") != deregistered {
+        return Err(format!(
+            "seed {seed}: counter tenants.deregistered = {} but the driver \
+             deregistered {deregistered}",
+            t.counter("tenants.deregistered")
+        ));
+    }
+    let started = t.counter("bulk_loads.started");
+    let finished = t.counter("bulk_loads.finished");
+    if finished > started {
+        return Err(format!(
+            "seed {seed}: {finished} bulk loads finished but only {started} started"
+        ));
+    }
+    // Unfinished loads can only belong to cancelled registrations or
+    // scrubbed cycle members; each deregistration can orphan at most one
+    // park load or one pending cycle load per replica.
+    if started - finished > deregistered * u64::from(replication) {
+        return Err(format!(
+            "seed {seed}: {} bulk loads never finished with only {deregistered} \
+             deregistrations (replication {replication}) to explain them",
+            started - finished
+        ));
+    }
+    Ok(())
+}
+
+/// Runs `fuzz_cluster`, `fuzz_service`, and `fuzz_lifecycle` for every
+/// seed in `start..start + count`, returning the failure messages (empty
+/// = pass).
 pub fn run_seed_range(start: u64, count: u64) -> Vec<String> {
     let seeds: Vec<u64> = (start..start + count).collect();
     let results = crate::parallel::par_map("fuzz:seeds", &seeds, |&seed| {
@@ -526,6 +810,9 @@ pub fn run_seed_range(start: u64, count: u64) -> Vec<String> {
         }
         if let Err(e) = fuzz_service(seed) {
             errors.push(format!("service fuzz: {e}"));
+        }
+        if let Err(e) = fuzz_lifecycle(seed) {
+            errors.push(format!("lifecycle fuzz: {e}"));
         }
         errors
     });
@@ -555,5 +842,25 @@ mod tests {
     fn a_small_seed_range_holds_every_invariant() {
         let failures = run_seed_range(0, 8);
         assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn lifecycle_fuzz_is_deterministic_per_seed() {
+        let a = fuzz_lifecycle(11).unwrap();
+        let b = fuzz_lifecycle(11).unwrap();
+        assert_eq!(a, b);
+        assert!(a.submitted > 0, "the schedule must exercise submissions");
+    }
+
+    #[test]
+    fn lifecycle_fuzz_exercises_churn_and_cycles() {
+        // Across a handful of seeds the schedule must hit every op kind at
+        // least once; a schedule that never cycles or never churns would
+        // not test the re-consolidation engine.
+        let outcomes: Vec<LifecycleFuzzOutcome> =
+            (0..6).map(|s| fuzz_lifecycle(s).unwrap()).collect();
+        assert!(outcomes.iter().any(|o| o.registered > 0));
+        assert!(outcomes.iter().any(|o| o.deregistered > 0));
+        assert!(outcomes.iter().any(|o| o.cycles > 0));
     }
 }

@@ -27,6 +27,9 @@ pub enum ThriftyError {
     UnknownTemplate(mppdb_sim::query::TemplateId),
     /// A replayed query references a tenant absent from the deployment.
     UnknownTenant(crate::tenant::TenantId),
+    /// A tenant registration reuses an id that is already live (or still
+    /// bulk loading toward its parking MPPDB).
+    DuplicateTenant(crate::tenant::TenantId),
     /// The service has not been deployed yet.
     NotDeployed,
     /// A query completion was reported for a tenant that has no running
@@ -39,6 +42,10 @@ pub enum ThriftyError {
         /// The tenant whose completion could not be matched.
         tenant: crate::tenant::TenantId,
     },
+    /// A configuration knob holds a nonsensical value. Carries a static
+    /// description of the rejected knob (see
+    /// [`ServiceConfigBuilder::build`](crate::service::ServiceConfigBuilder::build)).
+    InvalidConfig(&'static str),
     /// An internal bookkeeping invariant failed to hold; the service state
     /// should be considered corrupt. Carries a static description of the
     /// broken invariant.
@@ -64,11 +71,17 @@ impl fmt::Display for ThriftyError {
             ThriftyError::UnknownTenant(id) => {
                 write!(f, "tenant {id} is not part of the deployment")
             }
+            ThriftyError::DuplicateTenant(id) => {
+                write!(f, "tenant {id} is already registered")
+            }
             ThriftyError::NotDeployed => write!(f, "service has not been deployed"),
             ThriftyError::NoRunningQuery { component, tenant } => write!(
                 f,
                 "{component}: tenant {tenant} has no running query to finish"
             ),
+            ThriftyError::InvalidConfig(what) => {
+                write!(f, "invalid service configuration: {what}")
+            }
             ThriftyError::Internal(what) => {
                 write!(f, "internal bookkeeping invariant violated: {what}")
             }

@@ -73,6 +73,7 @@ pub mod grouping;
 pub mod master;
 pub mod metrics;
 pub mod monitor;
+pub mod reconsolidation;
 pub mod routing;
 pub mod scaling;
 pub mod service;
@@ -102,6 +103,7 @@ pub mod prelude {
     pub use crate::master::{Deployment, DeploymentMaster};
     pub use crate::metrics::ConsolidationReport;
     pub use crate::monitor::GroupActivityMonitor;
+    pub use crate::reconsolidation::{CyclePlan, PlannedGroup, Reconsolidator};
     pub use crate::routing::{QueryRouter, Route, RouteKind};
     pub use crate::scaling::{identify_over_active, ScalingEvent};
     pub use crate::service::{

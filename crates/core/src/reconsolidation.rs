@@ -1,0 +1,407 @@
+//! Online re-consolidation (Chapter 5.1): periodic re-grouping of the
+//! live tenant population with zero-downtime cutover.
+//!
+//! The paper's consolidation cycle makes Thrifty a *living* service: the
+//! Tenant Activity Monitor's observed ratios — not the day-one estimates —
+//! feed the next [`DeploymentAdvisor`] run, together with tenants that
+//! arrived or departed since the last cycle and the re-consolidation list
+//! of groups that went through elastic scaling. The resulting deployment
+//! is diffed against the one currently serving:
+//!
+//! * groups whose member set, replication, and node size are unchanged are
+//!   **kept** in place (no data moves);
+//! * every other planned group becomes a **build**: its MPPDBs are
+//!   provisioned from the free pool and every member is bulk-loaded onto
+//!   every replica with the Table 5.1 delays, *while the old deployment
+//!   keeps serving*;
+//! * once a build is fully loaded, routing **cuts over** atomically for
+//!   its tenants — queries in flight finish on their old instances, new
+//!   submissions go to the new group, and SLA accounting never pauses;
+//! * when the last build lands, superseded groups **retire**: their stale
+//!   replicas are dropped via `Cluster::drop_tenant` and their instances
+//!   decommission as soon as the last in-flight query drains, returning
+//!   the freed nodes to the pool.
+//!
+//! [`Reconsolidator`] packages this as a periodic driver: embed it in a
+//! replay loop and call [`Reconsolidator::maybe_cycle`] as log time
+//! advances. Planning is pure ([`Reconsolidator::plan`]), so tests and
+//! benches can inspect or hand-craft a [`CyclePlan`] and feed it straight
+//! to [`ThriftyService::begin_reconsolidation`].
+
+use crate::advisor::{AdvisorConfig, DeploymentAdvisor};
+use crate::error::ThriftyResult;
+use crate::service::ThriftyService;
+use crate::tenant::{Tenant, TenantId};
+use mppdb_sim::error::SimError;
+use std::collections::BTreeSet;
+
+/// One replacement tenant-group a cycle will build: the members to load,
+/// the replication factor `A`, and the per-MPPDB node size `n_1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedGroup {
+    /// The tenants the group will serve (each replicated on all MPPDBs).
+    pub members: Vec<Tenant>,
+    /// Replicas to provision (the group's availability factor `A`).
+    pub replication: u32,
+    /// Nodes per MPPDB (sized for the group's largest member).
+    pub node_size: u32,
+}
+
+impl PlannedGroup {
+    /// Nodes this build will draw from the free pool.
+    pub fn nodes_needed(&self) -> usize {
+        (self.replication as usize) * (self.node_size as usize)
+    }
+}
+
+/// The diff between the serving deployment and the advisor's new one: the
+/// groups to build, the current group indices to keep serving unchanged,
+/// and the current group indices to retire after cutover.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CyclePlan {
+    /// Replacement groups to provision and bulk load.
+    pub builds: Vec<PlannedGroup>,
+    /// Current groups kept in place (member set, `A`, and node size all
+    /// unchanged) — their data never moves.
+    pub keep: Vec<usize>,
+    /// Current groups superseded by the builds; retired after the last
+    /// cutover.
+    pub retire: Vec<usize>,
+}
+
+impl CyclePlan {
+    /// Whether the cycle would change nothing (every group kept).
+    pub fn is_noop(&self) -> bool {
+        self.builds.is_empty() && self.retire.is_empty()
+    }
+
+    /// Peak extra nodes the cycle needs while old and new deployments
+    /// coexist.
+    pub fn nodes_needed(&self) -> usize {
+        self.builds.iter().map(PlannedGroup::nodes_needed).sum()
+    }
+}
+
+/// Periodic re-consolidation driver.
+///
+/// Owns the cycle cadence and the advisor configuration; the observation
+/// horizon of [`AdvisorConfig::epoch`] is overridden per cycle with the
+/// service's actual monitoring window, so the configured horizon only
+/// seeds the initial (pre-deployment) design.
+#[derive(Clone, Debug)]
+pub struct Reconsolidator {
+    advisor: AdvisorConfig,
+    interval_ms: u64,
+    next_due_ms: u64,
+    cycles_planned: u64,
+    cycles_skipped: u64,
+}
+
+impl Reconsolidator {
+    /// A driver that re-plans every `interval_ms` of log time with the
+    /// given advisor configuration. The first cycle is due one full
+    /// interval after deployment.
+    pub fn new(advisor: AdvisorConfig, interval_ms: u64) -> Self {
+        Reconsolidator {
+            advisor,
+            interval_ms: interval_ms.max(1),
+            next_due_ms: interval_ms.max(1),
+            cycles_planned: 0,
+            cycles_skipped: 0,
+        }
+    }
+
+    /// Log-time instant the next cycle is due.
+    pub fn next_due_ms(&self) -> u64 {
+        self.next_due_ms
+    }
+
+    /// Cycles actually started (no-op plans and skips excluded).
+    pub fn cycles_planned(&self) -> u64 {
+        self.cycles_planned
+    }
+
+    /// Due cycles that were skipped (no-op plan, insufficient free nodes,
+    /// or the service was still busy with the previous cycle).
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    /// Plans a cycle from the service's *observed* activity without
+    /// executing anything: runs the [`DeploymentAdvisor`] over the
+    /// monitoring window and diffs the advised deployment against the
+    /// serving one. Advisor-excluded tenants (always active or over-sized)
+    /// are placed in dedicated singleton groups so every live tenant stays
+    /// routable.
+    pub fn plan(&self, service: &ThriftyService) -> CyclePlan {
+        let (histories, horizon_ms) = service.observed_activity_intervals();
+        let mut cfg = self.advisor;
+        cfg.epoch.horizon_ms = horizon_ms;
+        let advice = DeploymentAdvisor::new(cfg).advise(&histories);
+
+        let mut builds: Vec<PlannedGroup> = advice
+            .plan
+            .groups
+            .iter()
+            .map(|g| PlannedGroup {
+                members: g.members.clone(),
+                replication: g.replication(),
+                node_size: g.largest_request(),
+            })
+            .collect();
+        // Excluded tenants get a dedicated single-MPPDB group sized to
+        // their own request (the paper serves them "under another service
+        // plan"; here that means no consolidation, but still routable).
+        for t in &advice.excluded {
+            builds.push(PlannedGroup {
+                members: vec![*t],
+                replication: 1,
+                node_size: t.nodes,
+            });
+        }
+
+        // Diff against the serving deployment: a current group survives if
+        // some planned group matches it exactly.
+        let mut keep = Vec::new();
+        let mut retire = Vec::new();
+        for gi in 0..service.group_count() {
+            if service.group_is_retired(gi) {
+                continue;
+            }
+            let members: BTreeSet<TenantId> = service
+                .group_members(gi)
+                .unwrap_or_default()
+                .into_iter()
+                .collect();
+            let replicas = service.group_instances(gi).map_or(0, <[_]>::len);
+            let node_size = service.group_node_size(gi).unwrap_or(0);
+            let matched = builds.iter().position(|b| {
+                b.replication as usize == replicas
+                    && b.node_size == node_size
+                    && b.members.len() == members.len()
+                    && b.members.iter().all(|m| members.contains(&m.id))
+            });
+            match matched {
+                Some(bi) if !members.is_empty() => {
+                    builds.remove(bi);
+                    keep.push(gi);
+                }
+                _ => retire.push(gi),
+            }
+        }
+        CyclePlan {
+            builds,
+            keep,
+            retire,
+        }
+    }
+
+    /// Runs a cycle if one is due at the current log time: plans against
+    /// observed activity and hands the plan to
+    /// [`ThriftyService::begin_reconsolidation`]. Returns `true` when a
+    /// cycle started. Due-but-impossible cycles — a previous cycle still
+    /// executing, registrations still loading, a no-op plan, or not enough
+    /// free nodes to double-run the rebuilt groups — are skipped and
+    /// retried at the next interval.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every service error except "insufficient free nodes",
+    /// which is a skip, not a failure.
+    pub fn maybe_cycle(&mut self, service: &mut ThriftyService) -> ThriftyResult<bool> {
+        let now_ms = service.log_now().as_ms();
+        if now_ms < self.next_due_ms {
+            return Ok(false);
+        }
+        self.next_due_ms = now_ms.saturating_add(self.interval_ms);
+        if service.reconsolidation_active() || service.has_pending_registrations() {
+            self.cycles_skipped += 1;
+            return Ok(false);
+        }
+        let plan = self.plan(service);
+        if plan.is_noop() {
+            self.cycles_skipped += 1;
+            return Ok(false);
+        }
+        match service.begin_reconsolidation(&plan) {
+            Ok(()) => {
+                self.cycles_planned += 1;
+                Ok(true)
+            }
+            Err(crate::error::ThriftyError::Sim(SimError::InsufficientNodes { .. })) => {
+                self.cycles_skipped += 1;
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::EpochConfig;
+    use crate::advisor::{ExclusionPolicy, GroupingAlgorithm};
+    use crate::design::{DeploymentPlan, TenantGroupPlan};
+    use crate::service::{IncomingQuery, ServiceConfig, ThriftyService};
+    use mppdb_sim::query::{QueryTemplate, TemplateId};
+    use mppdb_sim::time::{SimDuration, SimTime};
+
+    fn template() -> QueryTemplate {
+        QueryTemplate::new(TemplateId(1), 600.0, 0.0)
+    }
+
+    fn plan_two_groups() -> DeploymentPlan {
+        DeploymentPlan {
+            groups: vec![
+                TenantGroupPlan::new(
+                    vec![
+                        Tenant::new(TenantId(0), 2, 100.0),
+                        Tenant::new(TenantId(1), 2, 100.0),
+                    ],
+                    2,
+                    2,
+                ),
+                TenantGroupPlan::new(
+                    vec![
+                        Tenant::new(TenantId(2), 2, 100.0),
+                        Tenant::new(TenantId(3), 2, 100.0),
+                    ],
+                    2,
+                    2,
+                ),
+            ],
+        }
+    }
+
+    fn deploy(total_nodes: usize) -> ThriftyService {
+        let config = ServiceConfig::builder()
+            .elastic_scaling(false)
+            .build()
+            .expect("valid service config");
+        ThriftyService::deploy(&plan_two_groups(), total_nodes, [template()], config)
+            .expect("deploys")
+    }
+
+    fn advisor_cfg() -> AdvisorConfig {
+        AdvisorConfig {
+            replication: 2,
+            sla_p: 0.999,
+            epoch: EpochConfig::new(10_000, 1),
+            algorithm: GroupingAlgorithm::TwoStep,
+            exclusion: ExclusionPolicy::default(),
+        }
+    }
+
+    fn q(tenant: u32, submit_s: u64) -> IncomingQuery {
+        IncomingQuery {
+            tenant: TenantId(tenant),
+            submit: SimTime::from_secs(submit_s),
+            template: TemplateId(1),
+            // 600 * 100 / 2 = 30_000 ms dedicated latency.
+            baseline: SimDuration::from_ms(30_000),
+        }
+    }
+
+    #[test]
+    fn noop_plan_keeps_every_group() {
+        let mut s = deploy(32);
+        // Disjoint activity: tenants 0..4 in separate slots, so the advisor
+        // reproduces a consolidation equivalent to the serving one — but any
+        // regrouping it proposes must keep every live tenant placed.
+        for (i, t) in [0u32, 1, 2, 3].iter().enumerate() {
+            s.submit(q(*t, (i as u64) * 600)).expect("submits");
+        }
+        s.drain().expect("drains");
+        let plan = Reconsolidator::new(advisor_cfg(), 60_000).plan(&s);
+        let placed: usize = plan.builds.iter().map(|b| b.members.len()).sum::<usize>()
+            + plan
+                .keep
+                .iter()
+                .map(|&gi| s.group_members(gi).map_or(0, |m| m.len()))
+                .sum::<usize>();
+        assert_eq!(placed, 4, "every live tenant placed exactly once");
+        // Kept + retired covers every live group.
+        let covered = plan.keep.len() + plan.retire.len();
+        assert_eq!(covered, s.group_count());
+    }
+
+    #[test]
+    fn cycle_waits_for_its_interval() {
+        let mut s = deploy(32);
+        let mut r = Reconsolidator::new(advisor_cfg(), 3_600_000);
+        assert!(!r.maybe_cycle(&mut s).expect("no cycle before due"));
+        assert_eq!(r.cycles_planned(), 0);
+    }
+
+    #[test]
+    fn merge_cycle_frees_nodes_and_keeps_tenants_routable() {
+        let mut s = deploy(32);
+        // Run one query per tenant in fully disjoint slots: the observed
+        // activity is perfectly consolidatable, so the advisor packs all
+        // four 2-node tenants into fewer groups than the serving two.
+        for (i, t) in [0u32, 1, 2, 3].iter().enumerate() {
+            s.submit(q(*t, (i as u64) * 600)).expect("submits");
+        }
+        s.drain().expect("drains");
+        let nodes_before: usize = (0..s.group_count())
+            .filter(|&gi| !s.group_is_retired(gi))
+            .map(|gi| s.group_instances(gi).map_or(0, <[_]>::len) * 2)
+            .sum();
+        let mut r = Reconsolidator::new(advisor_cfg(), 1_000);
+        let started = r.maybe_cycle(&mut s).expect("cycle plans");
+        if started {
+            s.drain().expect("cycle executes");
+            assert_eq!(s.reconsolidation_cycles(), 1);
+            assert!(!s.reconsolidation_active());
+            // Every tenant still routable after the cutover.
+            for t in [0u32, 1, 2, 3] {
+                s.submit(q(t, 40_000)).expect("post-cutover submit");
+            }
+            s.drain().expect("drains");
+            let nodes_after: usize = (0..s.group_count())
+                .filter(|&gi| !s.group_is_retired(gi))
+                .map(|gi| s.group_instances(gi).map_or(0, <[_]>::len) * 2)
+                .sum();
+            assert!(
+                nodes_after <= nodes_before,
+                "re-consolidation must not grow the serving footprint \
+                 ({nodes_after} > {nodes_before})"
+            );
+        }
+    }
+
+    #[test]
+    fn insufficient_nodes_skips_the_cycle() {
+        // Exactly enough nodes for the initial deployment: any rebuild
+        // needs headroom that does not exist.
+        let mut s = deploy(8);
+        for (i, t) in [0u32, 1, 2, 3].iter().enumerate() {
+            s.submit(q(*t, (i as u64) * 600)).expect("submits");
+        }
+        s.drain().expect("drains");
+        let mut r = Reconsolidator::new(advisor_cfg(), 1_000);
+        let started = r.maybe_cycle(&mut s).expect("skip, not error");
+        assert!(!started);
+        assert!(!s.reconsolidation_active());
+        assert_eq!(s.cluster().free_nodes(), 0);
+    }
+
+    #[test]
+    fn planned_group_accounting() {
+        let g = PlannedGroup {
+            members: vec![Tenant::new(TenantId(9), 2, 50.0)],
+            replication: 3,
+            node_size: 4,
+        };
+        assert_eq!(g.nodes_needed(), 12);
+        let plan = CyclePlan {
+            builds: vec![g],
+            keep: vec![0],
+            retire: vec![1],
+        };
+        assert!(!plan.is_noop());
+        assert_eq!(plan.nodes_needed(), 12);
+        assert!(CyclePlan::default().is_noop());
+    }
+}

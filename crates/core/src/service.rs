@@ -14,7 +14,8 @@ use crate::design::DeploymentPlan;
 use crate::error::{ThriftyError, ThriftyResult};
 use crate::master::DeploymentMaster;
 use crate::monitor::GroupActivityMonitor;
-use crate::routing::{QueryRouter, RouteKind};
+use crate::reconsolidation::CyclePlan;
+use crate::routing::{QueryRouter, Route, RouteKind};
 use crate::scaling::{identify_over_active, ScalingEvent};
 use crate::sla::{SlaPolicy, SlaRecord, SlaSummary};
 use crate::telemetry::{InstanceUtilization, Telemetry, TelemetryConfig, TelemetryEvent};
@@ -22,12 +23,12 @@ use crate::tenant::{Tenant, TenantId};
 use mppdb_sim::cluster::{Cluster, ClusterConfig, QueryCompletion, SimEvent};
 use mppdb_sim::error::SimError;
 use mppdb_sim::failure::FailurePlan;
-use mppdb_sim::instance::InstanceId;
+use mppdb_sim::instance::{InstanceId, InstanceState};
 use mppdb_sim::node::NodeId;
 use mppdb_sim::query::{QueryId, QuerySpec, QueryTemplate, TemplateId};
 use mppdb_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// RT-TTP trace sampling (for the Figure 7.7 time-series plots).
 ///
@@ -103,6 +104,8 @@ impl ServiceConfig {
 
 /// Fluent builder for [`ServiceConfig`]. Every setter has the same name
 /// as the field it sets; unset fields keep their default.
+/// [`build`](Self::build) validates the knobs and rejects nonsense with
+/// [`ThriftyError::InvalidConfig`].
 ///
 /// ```
 /// use thrifty::prelude::*;
@@ -111,9 +114,11 @@ impl ServiceConfig {
 ///     .elastic_scaling(false)
 ///     .sla_p(0.99)
 ///     .telemetry(TelemetryConfig::disabled())
-///     .build();
+///     .build()
+///     .expect("a valid configuration");
 /// assert!(!config.elastic_scaling);
 /// assert!(!config.telemetry.enabled);
+/// assert!(ServiceConfig::builder().sla_p(0.0).build().is_err());
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ServiceConfigBuilder {
@@ -169,9 +174,31 @@ impl ServiceConfigBuilder {
         self
     }
 
-    /// Finalizes the configuration.
-    pub fn build(self) -> ServiceConfig {
-        self.cfg
+    /// Finalizes the configuration, validating every knob.
+    ///
+    /// # Errors
+    /// [`ThriftyError::InvalidConfig`] when `sla_p` lies outside `(0, 1]`
+    /// (or is not finite), or `monitor_window_ms` / `scaling_epoch_ms` is
+    /// zero — values under which the monitor and the scaling trigger
+    /// silently misbehave.
+    pub fn build(self) -> ThriftyResult<ServiceConfig> {
+        let cfg = self.cfg;
+        if !cfg.sla_p.is_finite() || cfg.sla_p <= 0.0 || cfg.sla_p > 1.0 {
+            return Err(ThriftyError::InvalidConfig(
+                "sla_p must lie in (0, 1] (a fraction of time the SLA holds)",
+            ));
+        }
+        if cfg.monitor_window_ms == 0 {
+            return Err(ThriftyError::InvalidConfig(
+                "monitor_window_ms must be non-zero (the RT-TTP sliding window)",
+            ));
+        }
+        if cfg.scaling_epoch_ms == 0 {
+            return Err(ThriftyError::InvalidConfig(
+                "scaling_epoch_ms must be non-zero (over-active identification epochs)",
+            ));
+        }
+        Ok(cfg)
     }
 }
 
@@ -214,6 +241,12 @@ pub struct IncomingQuery {
     pub baseline: SimDuration,
 }
 
+/// One tenant's observed busy intervals (window-relative ms) — the
+/// activity shape [`DeploymentAdvisor`](crate::advisor::DeploymentAdvisor)
+/// consumes, as produced by
+/// [`ThriftyService::observed_activity_intervals`].
+pub type ObservedHistory = (Tenant, Vec<(u64, u64)>);
+
 struct PendingScale {
     instance: InstanceId,
     moved: Vec<TenantId>,
@@ -237,6 +270,39 @@ struct GroupRuntime {
     /// Whether this group has ever gone through elastic scaling — its
     /// members join the re-consolidation list (Chapter 5.1).
     has_scaled: bool,
+    /// Set when a re-consolidation cycle retired this group: routing no
+    /// longer targets it, and its instances are decommissioned as soon as
+    /// the last in-flight query drains (zero-downtime cutover).
+    retired: bool,
+}
+
+/// One replacement tenant-group being built by an active re-consolidation
+/// cycle: its MPPDBs are provisioned empty, every member is bulk-loaded
+/// onto every replica (Table 5.1 delays), and once `ready` covers all
+/// replicas with no loads pending the group cuts over atomically.
+struct GroupBuild {
+    members: Vec<Tenant>,
+    node_size: u32,
+    instances: Vec<InstanceId>,
+    /// Replicas that reached `Ready` (provisioning done, loads issued).
+    ready: usize,
+    /// Bulk loads issued but not yet finished across all replicas.
+    loads_pending: usize,
+    /// Set once this build has cut over.
+    done: bool,
+}
+
+/// Executor state of one in-progress re-consolidation cycle.
+struct ActiveCycle {
+    cycle: u64,
+    builds: Vec<GroupBuild>,
+    /// Old group indices to retire once every build has cut over.
+    retire: Vec<usize>,
+    /// (instance, tenant) -> build index, for routing `TenantLoaded`
+    /// completions back to their build.
+    loads: BTreeMap<(InstanceId, TenantId), usize>,
+    /// instance -> build index, for routing `InstanceReady` events.
+    instance_build: BTreeMap<InstanceId, usize>,
 }
 
 struct Inflight {
@@ -251,6 +317,10 @@ struct Inflight {
     baseline: SimDuration,
     route: RouteKind,
     monitor_generation: u32,
+    /// Parked tenants bypass Algorithm 1: their data lives only on the
+    /// park group's tuning MPPDB, so the router's free/busy bookkeeping
+    /// never sees them.
+    parked: bool,
 }
 
 /// The Thrifty MPPDBaaS service: deployment + run-time loop over the
@@ -280,6 +350,23 @@ pub struct ThriftyService {
     /// All log times are shifted by this offset: the deployment finishes
     /// provisioning first, then the observation horizon begins.
     offset_ms: u64,
+    /// Tenants registered at run time and still parked on a tuning MPPDB,
+    /// waiting for the next re-consolidation cycle to place them.
+    parked: BTreeSet<TenantId>,
+    /// (instance, tenant) -> (tenant info, park group) for registrations
+    /// whose bulk load onto the park group's tuning MPPDB is in progress.
+    /// The tenant is not routable until the load finishes.
+    pending_parks: BTreeMap<(InstanceId, TenantId), (Tenant, usize)>,
+    /// The in-progress re-consolidation cycle, if any.
+    recon: Option<ActiveCycle>,
+    /// Registrations that arrived while every park candidate was retiring
+    /// mid-cycle; parked as soon as the cycle completes.
+    deferred_regs: Vec<Tenant>,
+    /// Completed re-consolidation cycles.
+    cycles_completed: u64,
+    /// Retired groups whose instances still serve in-flight queries; swept
+    /// (decommissioned) once idle.
+    retiring: Vec<usize>,
 }
 
 impl ThriftyService {
@@ -324,6 +411,7 @@ impl ThriftyService {
                 last_scaling_check_ms: 0,
                 parent: None,
                 has_scaled: false,
+                retired: false,
             });
         }
         let next_trace_ms = offset_ms;
@@ -350,6 +438,14 @@ impl ThriftyService {
                 "nodes.replacement_deferred",
                 "nodes.replacement_retried",
                 "instances.provisioned",
+                "instances.decommissioned",
+                "tenants.registered",
+                "tenants.deregistered",
+                "bulk_loads.started",
+                "bulk_loads.finished",
+                "reconsolidation.started",
+                "reconsolidation.completed",
+                "groups.cutover",
             ] {
                 telemetry.incr_by(name, 0);
             }
@@ -386,6 +482,12 @@ impl ThriftyService {
             historical_ratios: BTreeMap::new(),
             meter: UsageMeter::new(),
             telemetry,
+            parked: BTreeSet::new(),
+            pending_parks: BTreeMap::new(),
+            recon: None,
+            deferred_regs: Vec::new(),
+            cycles_completed: 0,
+            retiring: Vec::new(),
         })
     }
 
@@ -658,6 +760,7 @@ impl ThriftyService {
                 SimEvent::QueryCompleted(c) => self.handle_completion(c)?,
                 SimEvent::InstanceReady { instance, at } => {
                     self.activate_scale_out(instance, at)?;
+                    self.recon_instance_ready(instance, at)?;
                 }
                 SimEvent::NodeFailed { node, instance, at } => {
                     // The MPPDB stays online at reduced parallelism
@@ -707,11 +810,16 @@ impl ThriftyService {
                         });
                     }
                 }
-                // Tenant loads outside scaling do not occur in the
-                // service path.
-                SimEvent::TenantLoaded { .. } => {}
+                SimEvent::TenantLoaded {
+                    instance,
+                    tenant,
+                    at,
+                } => {
+                    self.handle_tenant_loaded(instance, tenant, at)?;
+                }
             }
         }
+        self.sweep_retiring()?;
         Ok(())
     }
 
@@ -747,8 +855,19 @@ impl ThriftyService {
             .templates
             .get(&q.template)
             .ok_or(ThriftyError::UnknownTemplate(q.template))?;
+        let parked = self.parked.contains(&q.tenant);
         let group = &mut self.groups[gi];
-        let route = group.router.route(q.tenant);
+        // Parked tenants' data lives only on the park group's tuning MPPDB,
+        // so Algorithm 1 does not apply: route there directly and leave the
+        // router's free/busy bookkeeping untouched.
+        let route = if parked {
+            Route {
+                mppdb: 0,
+                kind: RouteKind::TuningFree,
+            }
+        } else {
+            group.router.route(q.tenant)
+        };
         let instance = group.instances[route.mppdb];
         let spec = QuerySpec::new(template, tenant.data_gb, tenant.id);
         let qid = self.cluster.submit(instance, spec)?;
@@ -785,6 +904,7 @@ impl ThriftyService {
                 baseline: q.baseline,
                 route: route.kind,
                 monitor_generation,
+                parked,
             },
         );
         Ok(())
@@ -796,7 +916,9 @@ impl ThriftyService {
         };
         let now_ms = c.finished.as_ms();
         let group = &mut self.groups[info.group];
-        group.router.complete(info.mppdb, info.tenant)?;
+        if !info.parked {
+            group.router.complete(info.mppdb, info.tenant)?;
+        }
         if info.monitor_generation == group.monitor_generation {
             group.monitor.on_query_finish(info.tenant, now_ms)?;
         }
@@ -843,12 +965,18 @@ impl ThriftyService {
     /// Checks a group's RT-TTP and triggers lightweight elastic scaling
     /// when it falls below `P` (Chapter 5.1).
     fn maybe_scale(&mut self, gi: usize, now_ms: u64) -> ThriftyResult<()> {
-        if !self.config.elastic_scaling {
+        if !self.config.elastic_scaling
+            // A re-consolidation cycle is already rebuilding the grouping —
+            // scaling mid-cycle would fight over the free-node pool and
+            // mutate groups the cycle has planned against.
+            || self.recon.is_some()
+        {
             return Ok(());
         }
         {
             let group = &self.groups[gi];
-            if group.parent.is_some()
+            if group.retired
+                || group.parent.is_some()
                 || group.pending_scale.is_some()
                 || now_ms.saturating_sub(group.last_scaling_check_ms)
                     < self.config.scaling_check_interval_ms
@@ -1018,6 +1146,7 @@ impl ThriftyService {
             last_scaling_check_ms: now_ms,
             parent: Some(gi),
             has_scaled: false,
+            retired: false,
         });
 
         // "Thrifty routed all the queries to the new MPPDB" (Chapter 7.5):
@@ -1098,10 +1227,809 @@ impl ThriftyService {
                     baseline: info.baseline,
                     route: route.kind,
                     monitor_generation: self.groups[new_gi].monitor_generation,
+                    // Only group members are ever moved; parked tenants are
+                    // not members until their cycle places them.
+                    parked: false,
                 },
             );
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Tenant lifecycle (Chapter 5.1): registration parks new tenants on a
+    // tuning MPPDB until the next re-consolidation cycle places them.
+    // ------------------------------------------------------------------
+
+    /// Registers a new tenant with the live service. The tenant's data is
+    /// bulk-loaded onto the tuning MPPDB of the first live root group (the
+    /// park group) with Table 5.1 delays; the tenant becomes routable when
+    /// the load finishes and stays *parked* there until the next
+    /// re-consolidation cycle assigns it a proper tenant-group.
+    ///
+    /// # Errors
+    ///
+    /// [`ThriftyError::DuplicateTenant`] if the id is already live or
+    /// loading, [`ThriftyError::NotDeployed`] if no live group can park it,
+    /// and simulator errors from the bulk load.
+    pub fn register_tenant(&mut self, tenant: Tenant) -> ThriftyResult<()> {
+        if self.tenant_info.contains_key(&tenant.id)
+            || self.pending_parks.keys().any(|&(_, t)| t == tenant.id)
+            || self.deferred_regs.iter().any(|t| t.id == tenant.id)
+        {
+            return Err(ThriftyError::DuplicateTenant(tenant.id));
+        }
+        let now_ms = self.cluster.now().as_ms();
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(now_ms);
+            self.telemetry.incr("tenants.registered");
+            self.telemetry.record(TelemetryEvent::TenantRegistered {
+                at_ms,
+                tenant: tenant.id,
+            });
+        }
+        match self.park_group() {
+            Some(park) => self.park_tenant(tenant, park, now_ms),
+            // Mid-cycle every candidate may be marked for retirement; hold
+            // the registration until the cycle's new groups go live.
+            None if self.recon.is_some() => {
+                self.deferred_regs.push(tenant);
+                Ok(())
+            }
+            None => Err(ThriftyError::NotDeployed),
+        }
+    }
+
+    /// Picks the first root group that is alive and not about to be retired
+    /// by the in-progress cycle, if any qualifies.
+    fn park_group(&self) -> Option<usize> {
+        let in_retire: BTreeSet<usize> = self
+            .recon
+            .as_ref()
+            .map(|c| c.retire.iter().copied().collect())
+            .unwrap_or_default();
+        self.groups
+            .iter()
+            .enumerate()
+            .find(|(gi, g)| {
+                !g.retired
+                    && g.parent.is_none()
+                    && !g.instances.is_empty()
+                    && !in_retire.contains(gi)
+            })
+            .map(|(gi, _)| gi)
+    }
+
+    /// Starts the bulk load that parks `tenant` on `park`'s tuning MPPDB.
+    fn park_tenant(&mut self, tenant: Tenant, park: usize, now_ms: u64) -> ThriftyResult<()> {
+        let instance = self.groups[park].instances[0];
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(now_ms);
+            self.telemetry.incr("bulk_loads.started");
+            self.telemetry.record(TelemetryEvent::BulkLoadStarted {
+                at_ms,
+                instance,
+                tenant: tenant.id,
+            });
+        }
+        self.cluster
+            .load_tenant(instance, tenant.id, tenant.data_gb)?;
+        let instantly_hosted = self
+            .cluster
+            .instance(instance)
+            .map(|i| i.hosts(tenant.id))
+            .unwrap_or(false);
+        if instantly_hosted {
+            // Zero-size loads complete synchronously (no event fires).
+            self.finish_park(instance, tenant, park, now_ms);
+        } else {
+            self.pending_parks
+                .insert((instance, tenant.id), (tenant, park));
+        }
+        Ok(())
+    }
+
+    /// Parks registrations that were deferred because every park candidate
+    /// was retiring mid-cycle. Called once the cycle's new groups are live.
+    fn flush_deferred_regs(&mut self, now_ms: u64) -> ThriftyResult<()> {
+        if self.deferred_regs.is_empty() {
+            return Ok(());
+        }
+        let Some(park) = self.park_group() else {
+            return Err(ThriftyError::NotDeployed);
+        };
+        let deferred = std::mem::take(&mut self.deferred_regs);
+        for tenant in deferred {
+            self.park_tenant(tenant, park, now_ms)?;
+        }
+        Ok(())
+    }
+
+    /// Completes a registration: the tenant's data reached the park
+    /// group's tuning MPPDB and the tenant becomes routable (parked).
+    fn finish_park(&mut self, instance: InstanceId, tenant: Tenant, park: usize, now_ms: u64) {
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(now_ms);
+            self.telemetry.incr("bulk_loads.finished");
+            self.telemetry.record(TelemetryEvent::BulkLoadFinished {
+                at_ms,
+                instance,
+                tenant: tenant.id,
+            });
+        }
+        self.tenant_info.insert(tenant.id, tenant);
+        self.tenant_group.insert(tenant.id, park);
+        self.groups[park].members.push(tenant);
+        self.parked.insert(tenant.id);
+    }
+
+    /// Deregisters a tenant from the live service and returns its record.
+    /// A still-loading registration is simply cancelled; a live tenant's
+    /// replicas are dropped in place (freeing the space) and the tenant is
+    /// scrubbed from any in-progress cycle. Queries already in flight
+    /// finish normally and keep their SLA accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`ThriftyError::UnknownTenant`] if the id is neither live nor
+    /// loading; simulator errors from dropping replicas.
+    pub fn deregister_tenant(&mut self, tenant: TenantId) -> ThriftyResult<Tenant> {
+        let now_ms = self.cluster.now().as_ms();
+        // A registration deferred by an in-progress cycle never loaded any
+        // data: just forget it.
+        if let Some(pos) = self.deferred_regs.iter().position(|t| t.id == tenant) {
+            let info = self.deferred_regs.remove(pos);
+            self.record_deregistration(tenant, now_ms);
+            return Ok(info);
+        }
+        // A registration still bulk loading: cancel it. The eventual
+        // `TenantLoaded` event finds no pending park and drops the data.
+        if let Some(key) = self
+            .pending_parks
+            .keys()
+            .copied()
+            .find(|&(_, t)| t == tenant)
+        {
+            // The key was found just above; the entry must exist.
+            let Some((info, _park)) = self.pending_parks.remove(&key) else {
+                return Err(ThriftyError::Internal(
+                    "a found pending park must be removable",
+                ));
+            };
+            self.record_deregistration(tenant, now_ms);
+            return Ok(info);
+        }
+        let Some(info) = self.tenant_info.remove(&tenant) else {
+            return Err(ThriftyError::UnknownTenant(tenant));
+        };
+        let gi = self.tenant_group.remove(&tenant);
+        if let Some(gi) = gi {
+            self.groups[gi].members.retain(|m| m.id != tenant);
+            // Reclaim the replica space wherever this group hosts the data.
+            let instances: Vec<InstanceId> = self.groups[gi].instances.clone();
+            for inst in instances {
+                let hosts = self
+                    .cluster
+                    .instance(inst)
+                    .map(|i| i.hosts(tenant))
+                    .unwrap_or(false);
+                if hosts {
+                    self.cluster.drop_tenant(inst, tenant)?;
+                }
+            }
+        }
+        self.parked.remove(&tenant);
+        self.scrub_from_cycle(tenant, now_ms)?;
+        self.record_deregistration(tenant, now_ms);
+        Ok(info)
+    }
+
+    fn record_deregistration(&mut self, tenant: TenantId, now_ms: u64) {
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(now_ms);
+            self.telemetry.incr("tenants.deregistered");
+            self.telemetry
+                .record(TelemetryEvent::TenantDeregistered { at_ms, tenant });
+        }
+    }
+
+    /// Removes a departing tenant from an in-progress cycle: its planned
+    /// memberships, pending loads, and already-loaded replicas all go. A
+    /// build that was only waiting on this tenant may become cut-over
+    /// ready, so progress is re-checked.
+    fn scrub_from_cycle(&mut self, tenant: TenantId, now_ms: u64) -> ThriftyResult<()> {
+        let Some(cycle) = self.recon.as_mut() else {
+            return Ok(());
+        };
+        let mut dropped_loads = Vec::new();
+        cycle.loads.retain(|&(inst, t), &mut bi| {
+            if t == tenant {
+                dropped_loads.push((inst, bi));
+                false
+            } else {
+                true
+            }
+        });
+        for &(_, bi) in &dropped_loads {
+            cycle.builds[bi].loads_pending = cycle.builds[bi].loads_pending.saturating_sub(1);
+        }
+        let mut drop_from: Vec<InstanceId> = Vec::new();
+        for build in cycle.builds.iter_mut() {
+            if build.members.iter().any(|m| m.id == tenant) {
+                build.members.retain(|m| m.id != tenant);
+                drop_from.extend(build.instances.iter().copied());
+            }
+        }
+        for inst in drop_from {
+            let hosts = self
+                .cluster
+                .instance(inst)
+                .map(|i| i.hosts(tenant))
+                .unwrap_or(false);
+            if hosts {
+                self.cluster.drop_tenant(inst, tenant)?;
+            }
+        }
+        self.check_cycle_progress(now_ms)
+    }
+
+    // ------------------------------------------------------------------
+    // Re-consolidation executor: provision empty replicas, bulk load every
+    // member onto every replica while the old deployment keeps serving,
+    // cut routing over per group, then retire and decommission stale
+    // instances once they drain.
+    // ------------------------------------------------------------------
+
+    /// Starts executing a re-consolidation cycle. Replacement groups are
+    /// provisioned from the free pool and bulk-loaded in the background;
+    /// the old deployment keeps serving until each build cuts over.
+    ///
+    /// The plan must cover the live tenant population exactly: every live
+    /// tenant appears in exactly one build or one kept group, every
+    /// current root group is either kept or retired, and retired groups'
+    /// members all reappear in builds. Validation happens before any
+    /// cluster mutation, so a rejected plan leaves the service untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ThriftyError::Internal`] for an invalid plan, a cycle already in
+    /// progress, or registrations still loading;
+    /// [`SimError::InsufficientNodes`] (wrapped) when the free pool cannot
+    /// host the new deployment — the cycle is skipped, nothing changes.
+    pub fn begin_reconsolidation(&mut self, plan: &CyclePlan) -> ThriftyResult<()> {
+        if self.recon.is_some() {
+            return Err(ThriftyError::Internal(
+                "a re-consolidation cycle is already in progress",
+            ));
+        }
+        if !self.pending_parks.is_empty() {
+            return Err(ThriftyError::Internal(
+                "registrations are still bulk loading; plan the cycle after they land",
+            ));
+        }
+        self.validate_cycle_plan(plan)?;
+        // Headroom precheck: fail without side effects rather than strand
+        // a half-provisioned cycle.
+        let needed: usize = plan
+            .builds
+            .iter()
+            .map(|b| (b.replication as usize) * (b.node_size as usize))
+            .sum();
+        let available = self.cluster.free_nodes();
+        if needed > available {
+            return Err(ThriftyError::Sim(SimError::InsufficientNodes {
+                requested: needed,
+                available,
+            }));
+        }
+        let now_ms = self.cluster.now().as_ms();
+        let cycle_no = self.cycles_completed + 1;
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(now_ms);
+            self.telemetry.incr("reconsolidation.started");
+            self.telemetry
+                .record(TelemetryEvent::ReconsolidationStarted {
+                    at_ms,
+                    cycle: cycle_no,
+                    builds: plan.builds.len(),
+                    retiring: plan.retire.len(),
+                });
+        }
+        let mut cycle = ActiveCycle {
+            cycle: cycle_no,
+            builds: Vec::with_capacity(plan.builds.len()),
+            retire: plan.retire.clone(),
+            loads: BTreeMap::new(),
+            instance_build: BTreeMap::new(),
+        };
+        let mut instant_ready: Vec<(InstanceId, SimTime)> = Vec::new();
+        for (bi, planned) in plan.builds.iter().enumerate() {
+            let mut instances = Vec::with_capacity(planned.replication as usize);
+            for _ in 0..planned.replication {
+                // Provision *empty* and bulk load afterwards: the old
+                // deployment serves during the whole startup + load window.
+                let instance = self
+                    .cluster
+                    .provision_instance(planned.node_size as usize, &[])?;
+                cycle.instance_build.insert(instance, bi);
+                if self.telemetry.is_enabled() {
+                    let at_ms = self.log_ms(now_ms);
+                    let nodes = self
+                        .cluster
+                        .instance(instance)
+                        .map(|i| i.nodes().len())
+                        .unwrap_or(0);
+                    self.telemetry.incr("instances.provisioned");
+                    self.telemetry.record(TelemetryEvent::InstanceProvisioned {
+                        at_ms,
+                        instance,
+                        nodes,
+                    });
+                }
+                // Instant provisioning (tests) readies the instance
+                // synchronously and fires no event — handle it inline.
+                let ready_now = self
+                    .cluster
+                    .instance(instance)
+                    .map(|i| i.state() == InstanceState::Ready)
+                    .unwrap_or(false);
+                if ready_now {
+                    instant_ready.push((instance, self.cluster.now()));
+                }
+                instances.push(instance);
+            }
+            cycle.builds.push(GroupBuild {
+                members: planned.members.clone(),
+                node_size: planned.node_size,
+                instances,
+                ready: 0,
+                loads_pending: 0,
+                done: false,
+            });
+        }
+        self.recon = Some(cycle);
+        for (instance, at) in instant_ready {
+            self.recon_instance_ready(instance, at)?;
+        }
+        // A plan with no builds (pure retirement) — or one fully satisfied
+        // by instant provisioning — completes synchronously.
+        self.check_cycle_progress(now_ms)
+    }
+
+    /// Validates a cycle plan against the live population and grouping.
+    fn validate_cycle_plan(&self, plan: &CyclePlan) -> ThriftyResult<()> {
+        let root_groups: BTreeSet<usize> = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.retired)
+            .map(|(gi, _)| gi)
+            .collect();
+        let keep: BTreeSet<usize> = plan.keep.iter().copied().collect();
+        let retire: BTreeSet<usize> = plan.retire.iter().copied().collect();
+        if keep.len() != plan.keep.len() || retire.len() != plan.retire.len() {
+            return Err(ThriftyError::Internal(
+                "cycle plan lists a group index twice",
+            ));
+        }
+        if !keep.is_disjoint(&retire) {
+            return Err(ThriftyError::Internal(
+                "cycle plan both keeps and retires a group",
+            ));
+        }
+        for &gi in keep.iter().chain(retire.iter()) {
+            if !root_groups.contains(&gi) {
+                return Err(ThriftyError::Internal(
+                    "cycle plan references a retired or unknown group",
+                ));
+            }
+        }
+        for &gi in &root_groups {
+            if !keep.contains(&gi) && !retire.contains(&gi) {
+                return Err(ThriftyError::Internal(
+                    "cycle plan leaves a live group neither kept nor retired",
+                ));
+            }
+        }
+        // Every live tenant must land exactly once: in one build, or in one
+        // kept group it already belongs to.
+        let mut placed: BTreeSet<TenantId> = BTreeSet::new();
+        for planned in &plan.builds {
+            if planned.members.is_empty() || planned.replication == 0 || planned.node_size == 0 {
+                return Err(ThriftyError::Internal(
+                    "cycle plan contains an empty or zero-sized build",
+                ));
+            }
+            for m in &planned.members {
+                if !self.tenant_info.contains_key(&m.id) {
+                    return Err(ThriftyError::Internal(
+                        "cycle plan builds a group around an unknown tenant",
+                    ));
+                }
+                if !placed.insert(m.id) {
+                    return Err(ThriftyError::Internal("cycle plan places a tenant twice"));
+                }
+            }
+        }
+        for &gi in &keep {
+            for m in &self.groups[gi].members {
+                if !placed.insert(m.id) {
+                    return Err(ThriftyError::Internal("cycle plan places a tenant twice"));
+                }
+            }
+        }
+        if placed.len() != self.tenant_info.len() {
+            return Err(ThriftyError::Internal(
+                "cycle plan does not cover every live tenant",
+            ));
+        }
+        Ok(())
+    }
+
+    /// An instance provisioned for a build finished starting up: bulk load
+    /// every member of the build onto it.
+    fn recon_instance_ready(&mut self, instance: InstanceId, at: SimTime) -> ThriftyResult<()> {
+        let Some(bi) = self
+            .recon
+            .as_ref()
+            .and_then(|c| c.instance_build.get(&instance).copied())
+        else {
+            return Ok(());
+        };
+        let now_ms = at.as_ms();
+        let members: Vec<Tenant> = {
+            // The build index came out of this cycle's own map just above.
+            let Some(cycle) = self.recon.as_mut() else {
+                return Err(ThriftyError::Internal(
+                    "a matched recon instance must have its cycle",
+                ));
+            };
+            cycle.builds[bi].ready += 1;
+            cycle.builds[bi].members.clone()
+        };
+        for m in members {
+            if self.telemetry.is_enabled() {
+                let at_ms = self.log_ms(now_ms);
+                self.telemetry.incr("bulk_loads.started");
+                self.telemetry.record(TelemetryEvent::BulkLoadStarted {
+                    at_ms,
+                    instance,
+                    tenant: m.id,
+                });
+            }
+            self.cluster.load_tenant(instance, m.id, m.data_gb)?;
+            let instantly_hosted = self
+                .cluster
+                .instance(instance)
+                .map(|i| i.hosts(m.id))
+                .unwrap_or(false);
+            if instantly_hosted {
+                if self.telemetry.is_enabled() {
+                    let at_ms = self.log_ms(now_ms);
+                    self.telemetry.incr("bulk_loads.finished");
+                    self.telemetry.record(TelemetryEvent::BulkLoadFinished {
+                        at_ms,
+                        instance,
+                        tenant: m.id,
+                    });
+                }
+            } else if let Some(cycle) = self.recon.as_mut() {
+                cycle.loads.insert((instance, m.id), bi);
+                cycle.builds[bi].loads_pending += 1;
+            }
+        }
+        self.check_cycle_progress(now_ms)
+    }
+
+    /// A bulk load completed: either a parked registration landed, a build
+    /// replica gained a member, or (for a cancelled registration) the data
+    /// is orphaned and dropped again.
+    fn handle_tenant_loaded(
+        &mut self,
+        instance: InstanceId,
+        tenant: TenantId,
+        at: SimTime,
+    ) -> ThriftyResult<()> {
+        let now_ms = at.as_ms();
+        if let Some((info, park)) = self.pending_parks.remove(&(instance, tenant)) {
+            self.finish_park(instance, info, park, now_ms);
+            return Ok(());
+        }
+        let from_cycle = self
+            .recon
+            .as_mut()
+            .and_then(|c| c.loads.remove(&(instance, tenant)));
+        if let Some(bi) = from_cycle {
+            if let Some(cycle) = self.recon.as_mut() {
+                cycle.builds[bi].loads_pending = cycle.builds[bi].loads_pending.saturating_sub(1);
+            }
+            if self.telemetry.is_enabled() {
+                let at_ms = self.log_ms(now_ms);
+                self.telemetry.incr("bulk_loads.finished");
+                self.telemetry.record(TelemetryEvent::BulkLoadFinished {
+                    at_ms,
+                    instance,
+                    tenant,
+                });
+            }
+            return self.check_cycle_progress(now_ms);
+        }
+        // Orphaned load (the registration or planned membership was
+        // cancelled mid-flight): reclaim the space.
+        if !self.tenant_info.contains_key(&tenant) {
+            let hosts = self
+                .cluster
+                .instance(instance)
+                .map(|i| i.hosts(tenant))
+                .unwrap_or(false);
+            if hosts {
+                self.cluster.drop_tenant(instance, tenant)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cuts over every build whose replicas are all ready and loaded; when
+    /// the last build lands, the cycle finishes and old groups retire.
+    fn check_cycle_progress(&mut self, now_ms: u64) -> ThriftyResult<()> {
+        loop {
+            let Some(cycle) = self.recon.as_ref() else {
+                return Ok(());
+            };
+            let Some(bi) = cycle
+                .builds
+                .iter()
+                .position(|b| !b.done && b.ready == b.instances.len() && b.loads_pending == 0)
+            else {
+                break;
+            };
+            self.cutover_build(bi, now_ms);
+        }
+        let all_done = self
+            .recon
+            .as_ref()
+            .map(|c| c.builds.iter().all(|b| b.done))
+            .unwrap_or(false);
+        if all_done {
+            self.finish_cycle(now_ms)?;
+        }
+        Ok(())
+    }
+
+    /// Atomic routing cutover of one build: its members' submissions now
+    /// target the new group; queries in flight keep running on the old
+    /// instances (their routers and monitors stay live until they drain).
+    fn cutover_build(&mut self, bi: usize, now_ms: u64) {
+        let (members, instances, node_size) = {
+            let Some(cycle) = self.recon.as_mut() else {
+                return;
+            };
+            let build = &mut cycle.builds[bi];
+            build.done = true;
+            (
+                build.members.clone(),
+                build.instances.clone(),
+                build.node_size,
+            )
+        };
+        let new_gi = self.groups.len();
+        for m in &members {
+            if let Some(&old_gi) = self.tenant_group.get(&m.id) {
+                self.groups[old_gi].members.retain(|t| t.id != m.id);
+            }
+            self.tenant_group.insert(m.id, new_gi);
+            self.parked.remove(&m.id);
+        }
+        let replicas = instances.len();
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(now_ms);
+            self.telemetry.incr("groups.cutover");
+            self.telemetry.record(TelemetryEvent::GroupCutover {
+                at_ms,
+                group: new_gi,
+                tenants: members.len(),
+                replicas,
+            });
+            self.telemetry
+                .set_gauge("groups", (self.groups.len() + 1) as i64);
+        }
+        self.groups.push(GroupRuntime {
+            members,
+            instances,
+            router: QueryRouter::new(replicas),
+            monitor: GroupActivityMonitor::new(
+                replicas as u32,
+                self.config.monitor_window_ms,
+                now_ms,
+            ),
+            monitor_generation: 0,
+            node_size,
+            pending_scale: None,
+            last_scaling_check_ms: now_ms,
+            parent: None,
+            has_scaled: false,
+            retired: false,
+        });
+    }
+
+    /// The last build cut over: old groups retire (their remaining replica
+    /// data is dropped) and their instances decommission once idle.
+    fn finish_cycle(&mut self, now_ms: u64) -> ThriftyResult<()> {
+        let Some(cycle) = self.recon.take() else {
+            return Ok(());
+        };
+        let mut retired_groups = 0usize;
+        for gi in cycle.retire {
+            let group = &mut self.groups[gi];
+            group.retired = true;
+            if !group.members.is_empty() {
+                return Err(ThriftyError::Internal(
+                    "a retiring group still owns tenants after the last cutover",
+                ));
+            }
+            let instances: Vec<InstanceId> = group.instances.clone();
+            for inst in instances {
+                let hosted: Vec<TenantId> = self
+                    .cluster
+                    .instance(inst)
+                    .map(|i| i.hosted_tenants().map(|(t, _)| t).collect())
+                    .unwrap_or_default();
+                for t in hosted {
+                    self.cluster.drop_tenant(inst, t)?;
+                }
+            }
+            self.retiring.push(gi);
+            retired_groups += 1;
+        }
+        self.cycles_completed = cycle.cycle;
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(now_ms);
+            self.telemetry.incr("reconsolidation.completed");
+            self.telemetry
+                .record(TelemetryEvent::ReconsolidationCompleted {
+                    at_ms,
+                    cycle: cycle.cycle,
+                    groups_built: self
+                        .groups
+                        .iter()
+                        .filter(|g| !g.retired && g.parent.is_none())
+                        .count(),
+                    groups_retired: retired_groups,
+                });
+        }
+        self.flush_deferred_regs(now_ms)?;
+        self.sweep_retiring()
+    }
+
+    /// Decommissions retired groups' instances once no query is in flight
+    /// on them, returning their nodes to the free pool.
+    fn sweep_retiring(&mut self) -> ThriftyResult<()> {
+        if self.retiring.is_empty() {
+            return Ok(());
+        }
+        let busy: BTreeSet<usize> = self.inflight.values().map(|i| i.group).collect();
+        let now_ms = self.cluster.now().as_ms();
+        let mut still = Vec::with_capacity(self.retiring.len());
+        let retiring = std::mem::take(&mut self.retiring);
+        for gi in retiring {
+            if busy.contains(&gi) {
+                still.push(gi);
+                continue;
+            }
+            let instances = std::mem::take(&mut self.groups[gi].instances);
+            for inst in instances {
+                self.cluster.decommission(inst)?;
+                if self.telemetry.is_enabled() {
+                    let at_ms = self.log_ms(now_ms);
+                    self.telemetry.incr("instances.decommissioned");
+                    self.telemetry
+                        .record(TelemetryEvent::InstanceDecommissioned {
+                            at_ms,
+                            instance: inst,
+                        });
+                }
+            }
+        }
+        self.retiring = still;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle-planner inputs and lifecycle introspection.
+    // ------------------------------------------------------------------
+
+    /// The per-tenant busy intervals observed in the monitoring window,
+    /// shifted to a window-relative timeline — exactly the activity shape
+    /// [`DeploymentAdvisor`](crate::advisor::DeploymentAdvisor) consumes.
+    /// Every live tenant appears (idle ones with no intervals); the second
+    /// element is the window length in ms (the advisor's horizon).
+    pub fn observed_activity_intervals(&self) -> (Vec<ObservedHistory>, u64) {
+        let now = self.cluster.now().as_ms();
+        let start = now
+            .saturating_sub(self.config.monitor_window_ms)
+            .max(self.offset_ms);
+        let horizon = now.saturating_sub(start).max(1);
+        let mut per_tenant: BTreeMap<TenantId, Vec<(u64, u64)>> =
+            self.tenant_info.keys().map(|&t| (t, Vec::new())).collect();
+        for (gi, group) in self.groups.iter().enumerate() {
+            if group.retired {
+                continue;
+            }
+            for (tenant, intervals) in group.monitor.window_activity(now) {
+                // Only the group currently *serving* the tenant contributes;
+                // a drained old group's residual intervals would double
+                // count the tenant's activity.
+                if self.tenant_group.get(&tenant) != Some(&gi) {
+                    continue;
+                }
+                let Some(out) = per_tenant.get_mut(&tenant) else {
+                    continue;
+                };
+                for (s, e) in intervals {
+                    let s = s.max(start);
+                    let e = e.max(s);
+                    if e > s {
+                        out.push((s - start, e - start));
+                    }
+                }
+            }
+        }
+        let activity = per_tenant
+            .into_iter()
+            .map(|(t, iv)| (self.tenant_info[&t], iv))
+            .collect();
+        (activity, horizon)
+    }
+
+    /// Whether a re-consolidation cycle is currently executing.
+    pub fn reconsolidation_active(&self) -> bool {
+        self.recon.is_some()
+    }
+
+    /// Completed re-consolidation cycles.
+    pub fn reconsolidation_cycles(&self) -> u64 {
+        self.cycles_completed
+    }
+
+    /// Whether any registration is still bulk loading toward its park
+    /// group or deferred behind a cycle (cycles cannot start until these
+    /// land).
+    pub fn has_pending_registrations(&self) -> bool {
+        !self.pending_parks.is_empty() || !self.deferred_regs.is_empty()
+    }
+
+    /// Ids of all live (routable) tenants, ascending.
+    pub fn live_tenants(&self) -> Vec<TenantId> {
+        self.tenant_info.keys().copied().collect()
+    }
+
+    /// Whether a tenant is parked on a tuning MPPDB awaiting placement.
+    pub fn is_parked(&self, tenant: TenantId) -> bool {
+        self.parked.contains(&tenant)
+    }
+
+    /// Whether group `gi` has been retired by a re-consolidation cycle.
+    pub fn group_is_retired(&self, gi: usize) -> bool {
+        self.groups.get(gi).is_some_and(|g| g.retired)
+    }
+
+    /// The tenants group `gi` currently serves (ids ascending).
+    pub fn group_members(&self, gi: usize) -> Option<Vec<TenantId>> {
+        self.groups.get(gi).map(|g| {
+            let mut ids: Vec<TenantId> = g.members.iter().map(|m| m.id).collect();
+            ids.sort_unstable();
+            ids
+        })
+    }
+
+    /// The MPPDB node size (`n_1`) of group `gi`.
+    pub fn group_node_size(&self, gi: usize) -> Option<u32> {
+        self.groups.get(gi).map(|g| g.node_size)
+    }
+
+    /// Whether group `gi` is a scale-out child created by elastic scaling.
+    pub fn group_is_scale_out(&self, gi: usize) -> bool {
+        self.groups.get(gi).is_some_and(|g| g.parent.is_some())
     }
 }
 
@@ -1129,7 +2057,10 @@ mod tests {
     }
 
     fn service(a: u32, scaling: bool) -> ThriftyService {
-        let config = ServiceConfig::builder().elastic_scaling(scaling).build();
+        let config = ServiceConfig::builder()
+            .elastic_scaling(scaling)
+            .build()
+            .unwrap();
         ThriftyService::deploy(&two_tenant_plan(a), 16, [linear_template()], config).unwrap()
     }
 
@@ -1225,7 +2156,8 @@ mod tests {
             .elastic_scaling(true)
             .monitor_window_ms(24 * 3_600_000)
             .scaling_check_interval_ms(10_000)
-            .build();
+            .build()
+            .unwrap();
         let mut s =
             ThriftyService::deploy(&two_tenant_plan(1), 16, [linear_template()], config).unwrap();
         // Baseline 60 s queries. Tenant 0 submits every 50 s (continuously
@@ -1298,7 +2230,8 @@ mod tests {
         let config = ServiceConfig::builder()
             .elastic_scaling(false)
             .telemetry(TelemetryConfig::disabled())
-            .build();
+            .build()
+            .unwrap();
         let mut s =
             ThriftyService::deploy(&two_tenant_plan(2), 16, [linear_template()], config).unwrap();
         let report = s.replay([q(0, 0, 60_000)]).unwrap();
@@ -1314,7 +2247,8 @@ mod tests {
         let config = ServiceConfig::builder()
             .elastic_scaling(false)
             .trace(TraceConfig::new(vec![0], 100_000))
-            .build();
+            .build()
+            .unwrap();
         let mut s =
             ThriftyService::deploy(&two_tenant_plan(2), 16, [linear_template()], config).unwrap();
         let report = s

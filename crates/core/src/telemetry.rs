@@ -429,6 +429,78 @@ pub enum TelemetryEvent {
         /// The scale-out group now serving it.
         to_group: usize,
     },
+    /// A tenant registered with the live service; its data starts bulk
+    /// loading onto the park group's tuning MPPDB (Chapter 5.1: new
+    /// tenants wait there until the next consolidation cycle).
+    TenantRegistered {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The new tenant.
+        tenant: TenantId,
+    },
+    /// A tenant deregistered; its replicas were dropped in place and it
+    /// leaves the next consolidation cycle's population.
+    TenantDeregistered {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The departed tenant.
+        tenant: TenantId,
+    },
+    /// A bulk load of one tenant's data onto one instance began (Table 5.1
+    /// delays; the old deployment keeps serving while it runs).
+    BulkLoadStarted {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The target instance.
+        instance: InstanceId,
+        /// The tenant being loaded.
+        tenant: TenantId,
+    },
+    /// A bulk load finished; the tenant is queryable on the instance.
+    BulkLoadFinished {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The target instance.
+        instance: InstanceId,
+        /// The loaded tenant.
+        tenant: TenantId,
+    },
+    /// An online re-consolidation cycle began: replacement tenant-groups
+    /// start provisioning and bulk loading while the old deployment serves.
+    ReconsolidationStarted {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// Monotone cycle number (1-based).
+        cycle: u64,
+        /// Tenant-groups being built.
+        builds: usize,
+        /// Old tenant-groups scheduled to retire at the end of the cycle.
+        retiring: usize,
+    },
+    /// The re-consolidation cycle finished: every group cut over, stale
+    /// replicas dropped, retired instances queued for decommission.
+    ReconsolidationCompleted {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// Monotone cycle number (1-based).
+        cycle: u64,
+        /// Tenant-groups built by the cycle.
+        groups_built: usize,
+        /// Old tenant-groups retired by the cycle.
+        groups_retired: usize,
+    },
+    /// Routing for one tenant-group atomically cut over to its freshly
+    /// loaded replicas; queries in flight finish on their old instance.
+    GroupCutover {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// The new tenant-group index.
+        group: usize,
+        /// Tenants now served by the new group.
+        tenants: usize,
+        /// Replica count (the plan's `A`) of the new group.
+        replicas: usize,
+    },
 }
 
 impl TelemetryEvent {
@@ -447,7 +519,14 @@ impl TelemetryEvent {
             | TelemetryEvent::NodeReplaced { at_ms, .. }
             | TelemetryEvent::ReplacementDeferred { at_ms, .. }
             | TelemetryEvent::ReplacementRetried { at_ms, .. }
-            | TelemetryEvent::TenantMigrated { at_ms, .. } => at_ms,
+            | TelemetryEvent::TenantMigrated { at_ms, .. }
+            | TelemetryEvent::TenantRegistered { at_ms, .. }
+            | TelemetryEvent::TenantDeregistered { at_ms, .. }
+            | TelemetryEvent::BulkLoadStarted { at_ms, .. }
+            | TelemetryEvent::BulkLoadFinished { at_ms, .. }
+            | TelemetryEvent::ReconsolidationStarted { at_ms, .. }
+            | TelemetryEvent::ReconsolidationCompleted { at_ms, .. }
+            | TelemetryEvent::GroupCutover { at_ms, .. } => at_ms,
         }
     }
 }

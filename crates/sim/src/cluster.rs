@@ -446,8 +446,16 @@ impl Cluster {
         Ok(())
     }
 
-    /// Drops a tenant's data from an instance (used by re-consolidation).
-    pub fn unload_tenant(&mut self, instance: InstanceId, tenant: SimTenantId) -> SimResult<f64> {
+    /// Drops a tenant's replica data from an instance and returns the freed
+    /// GB (used by re-consolidation: stale replicas are dropped after the
+    /// routing cutover, and departed tenants' data is reclaimed in place).
+    /// Running queries are unaffected — hosting is only checked at submit.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownInstance`] for an unknown instance and
+    /// [`SimError::TenantNotHosted`] when the tenant has no data here (so a
+    /// repeated drop of the same replica is an error, not a silent no-op).
+    pub fn drop_tenant(&mut self, instance: InstanceId, tenant: SimTenantId) -> SimResult<f64> {
         let inst = self.instance_mut(instance)?;
         inst.remove_hosted(tenant)
             .ok_or(SimError::TenantNotHosted { instance, tenant })
@@ -1117,6 +1125,75 @@ mod tests {
             |e| matches!(e, SimEvent::TenantLoaded { tenant, .. } if *tenant == SimTenantId(7))
         ));
         assert!(c.submit(id, spec).is_ok());
+    }
+
+    #[test]
+    fn drop_tenant_reclaims_replica_space() {
+        let (mut c, id) = ready_cluster(4);
+        assert!((c.instance(id).unwrap().total_data_gb() - 200.0).abs() < 1e-9);
+        let freed = c.drop_tenant(id, SimTenantId(1)).unwrap();
+        assert!((freed - 100.0).abs() < 1e-9);
+        let inst = c.instance(id).unwrap();
+        assert!(!inst.hosts(SimTenantId(1)));
+        assert!(inst.hosts(SimTenantId(0)));
+        assert!((inst.total_data_gb() - 100.0).abs() < 1e-9);
+        // The dropped tenant can no longer submit here...
+        let spec = QuerySpec::new(linear_template(), 100.0, SimTenantId(1));
+        assert_eq!(
+            c.submit(id, spec),
+            Err(SimError::TenantNotHosted {
+                instance: id,
+                tenant: SimTenantId(1)
+            })
+        );
+        // ...but the remaining tenant can.
+        let spec = QuerySpec::new(linear_template(), 100.0, SimTenantId(0));
+        assert!(c.submit(id, spec).is_ok());
+    }
+
+    #[test]
+    fn drop_tenant_rejects_unknown_targets() {
+        let (mut c, id) = ready_cluster(4);
+        assert_eq!(
+            c.drop_tenant(InstanceId(9), SimTenantId(0)),
+            Err(SimError::UnknownInstance(InstanceId(9)))
+        );
+        assert_eq!(
+            c.drop_tenant(id, SimTenantId(42)),
+            Err(SimError::TenantNotHosted {
+                instance: id,
+                tenant: SimTenantId(42)
+            })
+        );
+    }
+
+    #[test]
+    fn drop_tenant_twice_is_an_error_not_a_noop() {
+        let (mut c, id) = ready_cluster(4);
+        assert!(c.drop_tenant(id, SimTenantId(1)).is_ok());
+        assert_eq!(
+            c.drop_tenant(id, SimTenantId(1)),
+            Err(SimError::TenantNotHosted {
+                instance: id,
+                tenant: SimTenantId(1)
+            })
+        );
+        // The double drop did not disturb the surviving replica accounting.
+        assert!((c.instance(id).unwrap().total_data_gb() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_tenant_leaves_running_queries_alone() {
+        let (mut c, id) = ready_cluster(4);
+        let spec = QuerySpec::new(linear_template(), 100.0, SimTenantId(1));
+        c.submit(id, spec).unwrap();
+        c.drop_tenant(id, SimTenantId(1)).unwrap();
+        // The in-flight query still completes (hosting is a submit-time
+        // check; the cutover discipline relies on this).
+        let events = c.run_to_quiescence();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SimEvent::QueryCompleted(q) if q.tenant == SimTenantId(1))));
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Drift-and-churn scenario: activity ratios shift mid-horizon while the
+//! tenant population churns.
+//!
+//! Consolidation quality rots when the activity shape the Deployment
+//! Advisor designed for stops describing the tenants (Chapter 5.1). This
+//! scenario manufactures exactly that rot, deterministically:
+//!
+//! * **Phase 1** (before [`DriftConfig::shift_at_ms`]): tenants are active
+//!   in *overlapping* slots — tenant `i` wakes in slot `i mod phase1_stride`
+//!   of every cycle with a small stride, so many tenants are concurrently
+//!   active and the day-one design needs many small groups.
+//! * **Phase 2** (after the shift): the same tenants spread over a *large*
+//!   stride, so activity is close to disjoint and far fewer groups (and
+//!   nodes) suffice — but only a re-consolidation cycle can realize that.
+//! * **Churn** at the shift point: a prefix of the population departs and
+//!   a smaller set of new tenants arrives (parked on a tuning MPPDB until
+//!   the next cycle). Departures outnumber arrivals, so the right-sized
+//!   deployment shrinks.
+//!
+//! The generator emits the *estimated* day-one histories (phase-1 shape
+//! extended over the whole horizon — what the provider believed), the
+//! query log (phase-aware, churn-aware), and the churn events, all from
+//! one seed. Replaying the same scenario with and without periodic
+//! re-consolidation is the drift experiment in `thrifty-bench`.
+
+use crate::rng::stream_rng;
+use crate::templates::Benchmark;
+use crate::tenant::TenantSpec;
+use mppdb_sim::query::{SimTenantId, TemplateId};
+use mppdb_sim::time::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Template id reserved for drift-scenario queries.
+pub const DRIFT_TEMPLATE: TemplateId = TemplateId(900);
+
+/// Configuration of the drift-and-churn generator.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Master seed; every stochastic choice derives from it.
+    pub seed: u64,
+    /// Initial tenant population.
+    pub tenants: u32,
+    /// Nodes each tenant requests (`n_i`).
+    pub node_size: u32,
+    /// Data per requested node in GB (§7.1 uses 100; drift defaults to a
+    /// small value so bulk loads finish within a few slots).
+    pub gb_per_node: f64,
+    /// Activity slot length in ms.
+    pub slot_ms: u64,
+    /// Phase-1 stride: tenant `i` is active in slot `i % phase1_stride` of
+    /// each cycle. Small stride = heavy overlap.
+    pub phase1_stride: u32,
+    /// Phase-2 stride (after the shift). Large stride = near-disjoint.
+    pub phase2_stride: u32,
+    /// Instant the activity pattern shifts and churn happens.
+    pub shift_at_ms: u64,
+    /// End of the log timeline.
+    pub horizon_ms: u64,
+    /// Tenants (a prefix by id) deregistering at the shift.
+    pub departures: u32,
+    /// New tenants registering at the shift.
+    pub arrivals: u32,
+    /// Settle time after the shift before arrived tenants submit queries
+    /// (covers their bulk load onto the tuning MPPDB).
+    pub settle_ms: u64,
+    /// Per-query template coefficient: dedicated latency is
+    /// `query_coef × data_gb / nodes` ms.
+    pub query_coef: f64,
+    /// Maximum submission jitter inside a slot, ms.
+    pub jitter_ms: u64,
+}
+
+impl DriftConfig {
+    /// A compact configuration that exercises drift, churn, and at least
+    /// one full re-consolidation cycle inside a ~16 h horizon.
+    pub fn small(seed: u64) -> Self {
+        DriftConfig {
+            seed,
+            tenants: 12,
+            node_size: 2,
+            gb_per_node: 10.0,
+            slot_ms: 30 * 60_000,
+            phase1_stride: 2,
+            phase2_stride: 6,
+            shift_at_ms: 6 * 3_600_000,
+            horizon_ms: 16 * 3_600_000,
+            departures: 4,
+            arrivals: 2,
+            settle_ms: 3_600_000,
+            query_coef: 12_000.0,
+            jitter_ms: 20_000,
+        }
+    }
+}
+
+/// One churn action on the live service, on the log timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// A tenant joins the service (to be parked until the next cycle).
+    Register {
+        /// When the registration arrives.
+        at: SimTime,
+        /// The new tenant.
+        spec: TenantSpec,
+    },
+    /// A tenant leaves the service.
+    Deregister {
+        /// When the deregistration arrives.
+        at: SimTime,
+        /// The departing tenant.
+        tenant: SimTenantId,
+    },
+}
+
+impl ChurnEvent {
+    /// The instant the event takes effect.
+    pub fn at(&self) -> SimTime {
+        match self {
+            ChurnEvent::Register { at, .. } | ChurnEvent::Deregister { at, .. } => *at,
+        }
+    }
+}
+
+/// One query submission of the scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftQuery {
+    /// The submitting tenant.
+    pub tenant: SimTenantId,
+    /// Submission instant on the log timeline.
+    pub submit: SimTime,
+    /// The template ([`DRIFT_TEMPLATE`]).
+    pub template: TemplateId,
+    /// The tenant's dedicated-MPPDB latency for this query (the SLA).
+    pub baseline: SimDuration,
+}
+
+/// The generated scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftScenario {
+    /// The configuration it was generated from.
+    pub config: DriftConfig,
+    /// The initial tenant population (ids `0..tenants`).
+    pub initial: Vec<TenantSpec>,
+    /// The day-one activity estimate per initial tenant: the phase-1 shape
+    /// extended over the whole horizon — what the provider designs for.
+    pub design_histories: Vec<(SimTenantId, Vec<(u64, u64)>)>,
+    /// All query submissions, ordered by (submit, tenant).
+    pub queries: Vec<DriftQuery>,
+    /// Churn events, ordered by time (deregistrations first at ties so the
+    /// freed capacity is visible to the registrations).
+    pub churn: Vec<ChurnEvent>,
+}
+
+impl DriftScenario {
+    /// Generates the scenario. Deterministic in `config`.
+    pub fn generate(config: &DriftConfig) -> DriftScenario {
+        let spec = |id: u32| TenantSpec {
+            id: SimTenantId(id),
+            nodes: config.node_size,
+            data_gb: config.gb_per_node * f64::from(config.node_size),
+            benchmark: Benchmark::TpcH,
+            offset_hours: 0,
+        };
+        let initial: Vec<TenantSpec> = (0..config.tenants).map(spec).collect();
+        let baseline_ms = (config.query_coef * config.gb_per_node).max(1.0) as u64;
+
+        let phase1 = config.phase1_stride.max(1);
+        let phase2 = config.phase2_stride.max(1);
+        let slot = config.slot_ms.max(1);
+
+        // Day-one estimate: every tenant keeps its phase-1 slot for the
+        // whole horizon.
+        let mut design_histories = Vec::with_capacity(initial.len());
+        for t in &initial {
+            let mut intervals = Vec::new();
+            let my_slot = u64::from(t.id.0 % phase1);
+            let cycle = slot * u64::from(phase1);
+            let mut start = my_slot * slot;
+            while start < config.horizon_ms {
+                let end = (start + baseline_ms)
+                    .min(start + slot)
+                    .min(config.horizon_ms);
+                if end > start {
+                    intervals.push((start, end));
+                }
+                start += cycle;
+            }
+            design_histories.push((t.id, intervals));
+        }
+
+        // Churn at the shift: the lowest ids depart, fresh ids arrive.
+        let mut churn = Vec::new();
+        let at = SimTime::from_ms(config.shift_at_ms);
+        for id in 0..config.departures.min(config.tenants) {
+            churn.push(ChurnEvent::Deregister {
+                at,
+                tenant: SimTenantId(id),
+            });
+        }
+        for i in 0..config.arrivals {
+            churn.push(ChurnEvent::Register {
+                at,
+                spec: spec(config.tenants + i),
+            });
+        }
+
+        // Queries: one per active slot per tenant, phase-aware.
+        let mut queries = Vec::new();
+        let mut emit =
+            |tenant: SimTenantId, from_ms: u64, until_ms: u64, stride: u32, substream: u64| {
+                let mut rng = stream_rng(config.seed, u64::from(tenant.0), substream);
+                let my_slot = u64::from(tenant.0 % stride);
+                let cycle = slot * u64::from(stride);
+                // First cycle whose slot lies at or after `from_ms`.
+                let mut start = my_slot * slot;
+                while start < from_ms {
+                    start += cycle;
+                }
+                while start < until_ms {
+                    let jitter = if config.jitter_ms == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..config.jitter_ms)
+                    };
+                    queries.push(DriftQuery {
+                        tenant,
+                        submit: SimTime::from_ms(start + jitter),
+                        template: DRIFT_TEMPLATE,
+                        baseline: SimDuration::from_ms(baseline_ms),
+                    });
+                    start += cycle;
+                }
+            };
+        for t in &initial {
+            // Phase 1 for everyone; departures stop at the shift.
+            emit(t.id, 0, config.shift_at_ms, phase1, 1);
+            if t.id.0 >= config.departures {
+                emit(t.id, config.shift_at_ms, config.horizon_ms, phase2, 2);
+            }
+        }
+        for i in 0..config.arrivals {
+            let id = SimTenantId(config.tenants + i);
+            emit(
+                id,
+                config.shift_at_ms + config.settle_ms,
+                config.horizon_ms,
+                phase2,
+                2,
+            );
+        }
+        queries.sort_by_key(|q| (q.submit, q.tenant));
+
+        DriftScenario {
+            config: *config,
+            initial,
+            design_histories,
+            queries,
+            churn,
+        }
+    }
+
+    /// The dedicated-MPPDB latency of one scenario query, in ms — also the
+    /// linear coefficient to register [`DRIFT_TEMPLATE`] with.
+    pub fn baseline_ms(&self) -> u64 {
+        (self.config.query_coef * self.config.gb_per_node).max(1.0) as u64
+    }
+
+    /// Tenant ids alive at the end of the horizon, ascending.
+    pub fn final_population(&self) -> Vec<SimTenantId> {
+        let mut alive: Vec<SimTenantId> = self
+            .initial
+            .iter()
+            .map(|t| t.id)
+            .filter(|t| t.0 >= self.config.departures)
+            .collect();
+        for ev in &self.churn {
+            if let ChurnEvent::Register { spec, .. } = ev {
+                alive.push(spec.id);
+            }
+        }
+        alive.sort_unstable();
+        alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> DriftScenario {
+        DriftScenario::generate(&DriftConfig::small(7))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = scenario();
+        let b = scenario();
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.churn, b.churn);
+        assert_eq!(a.design_histories, b.design_histories);
+    }
+
+    #[test]
+    fn phase_one_overlaps_and_phase_two_spreads() {
+        let s = scenario();
+        let cfg = s.config;
+        // In phase 1 two tenants with the same `id % phase1_stride` share a
+        // slot; in phase 2 their slots differ (strides chosen coprime-ish).
+        let before: Vec<&DriftQuery> = s
+            .queries
+            .iter()
+            .filter(|q| q.submit.as_ms() < cfg.shift_at_ms)
+            .collect();
+        let after: Vec<&DriftQuery> = s
+            .queries
+            .iter()
+            .filter(|q| q.submit.as_ms() >= cfg.shift_at_ms)
+            .collect();
+        assert!(!before.is_empty() && !after.is_empty());
+        // Max concurrent same-slot submitters shrinks after the shift.
+        let peak = |qs: &[&DriftQuery]| {
+            let mut per_slot: std::collections::BTreeMap<u64, std::collections::BTreeSet<u32>> =
+                std::collections::BTreeMap::new();
+            for q in qs {
+                per_slot
+                    .entry(q.submit.as_ms() / cfg.slot_ms)
+                    .or_default()
+                    .insert(q.tenant.0);
+            }
+            per_slot.values().map(|s| s.len()).max().unwrap_or(0)
+        };
+        assert!(
+            peak(&before) > peak(&after),
+            "drift must reduce concurrency: {} -> {}",
+            peak(&before),
+            peak(&after)
+        );
+    }
+
+    #[test]
+    fn departed_tenants_stop_submitting() {
+        let s = scenario();
+        for q in &s.queries {
+            if q.tenant.0 < s.config.departures {
+                assert!(q.submit.as_ms() < s.config.shift_at_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_wait_for_the_settle_window() {
+        let s = scenario();
+        let first_new = s
+            .queries
+            .iter()
+            .filter(|q| q.tenant.0 >= s.config.tenants)
+            .map(|q| q.submit.as_ms())
+            .min();
+        if let Some(first) = first_new {
+            assert!(first >= s.config.shift_at_ms + s.config.settle_ms);
+        }
+        assert_eq!(
+            s.churn.len(),
+            (s.config.departures + s.config.arrivals) as usize
+        );
+    }
+
+    #[test]
+    fn final_population_reflects_churn() {
+        let s = scenario();
+        let alive = s.final_population();
+        assert_eq!(
+            alive.len() as u32,
+            s.config.tenants - s.config.departures + s.config.arrivals
+        );
+        assert!(alive.iter().all(|t| t.0 >= s.config.departures));
+    }
+
+    #[test]
+    fn design_histories_cover_every_initial_tenant() {
+        let s = scenario();
+        assert_eq!(s.design_histories.len(), s.initial.len());
+        assert!(s
+            .design_histories
+            .iter()
+            .all(|(_, iv)| iv.iter().all(|&(a, b)| b > a)));
+    }
+}

@@ -38,6 +38,7 @@
 pub mod activity;
 pub mod composition;
 pub mod config;
+pub mod drift;
 pub mod library;
 pub mod log;
 pub mod persist;
@@ -54,6 +55,7 @@ pub mod prelude {
     };
     pub use crate::composition::Composer;
     pub use crate::config::{ActivityScenario, GenerationConfig};
+    pub use crate::drift::{ChurnEvent, DriftConfig, DriftQuery, DriftScenario, DRIFT_TEMPLATE};
     pub use crate::library::SessionLibrary;
     pub use crate::log::{LoggedQuery, MultiTenantLog, QueryEvent, SessionLog, TenantLog};
     pub use crate::persist::SavedCorpus;

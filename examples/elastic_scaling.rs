@@ -32,7 +32,8 @@ fn main() {
         [template],
         ServiceConfig::builder()
             .scaling_check_interval_ms(60_000)
-            .build(),
+            .build()
+            .expect("valid service config"),
     )
     .expect("plan fits");
     // Historical activity: T0 was a quiet 5%-active tenant; the others run

@@ -39,7 +39,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         ServiceConfig::builder()
             .elastic_scaling(false)
             .telemetry(TelemetryConfig::default())
-            .build(),
+            .build()
+            .expect("valid service config"),
     )?;
 
     // Fail one node of the first MPPDB 50 s into the log; a spare exists,

@@ -112,7 +112,8 @@ fn scale_out_migration_is_byte_identical_across_shuffled_runs() {
         let config = ServiceConfig::builder()
             .elastic_scaling(true)
             .scaling_check_interval_ms(10_000)
-            .build();
+            .build()
+            .expect("valid service config");
         let template = QueryTemplate::new(TemplateId(1), 600.0, 0.0);
         let mut service = ThriftyService::deploy(&plan, 16, [template], config).unwrap();
         service.set_historical_activity(ratios);
@@ -228,6 +229,44 @@ fn parallel_pipeline_is_byte_identical_to_serial() {
     );
 }
 
+/// The drift experiment replays tenant churn and periodic re-consolidation
+/// cycles — registrations, bulk loads, atomic cutovers, retirements — with
+/// both arms running under `par_join2`. The entire result (trajectory
+/// tables, summary, and the periodic arm's full telemetry stream) must be
+/// byte-identical whether the harness runs on 1 thread or 4: cutover order,
+/// decommission sweeps, and freed-node accounting are all part of the
+/// determinism contract. Both runs happen inside one `#[test]` because the
+/// thread override is process-global.
+#[test]
+fn reconsolidation_cycle_is_byte_identical_across_thread_counts() {
+    use thrifty_bench::experiments::drift;
+    use thrifty_bench::parallel;
+
+    let run = |threads: usize| -> String {
+        parallel::set_thread_override(Some(threads));
+        let mut result = drift::drift();
+        parallel::set_thread_override(None);
+        // Stage timings are wall clock — the one field allowed to differ.
+        result.timings.clear();
+        serde_json::to_string(&result).unwrap()
+    };
+    let serial = run(1);
+    let parallel_run = run(4);
+    assert_eq!(
+        serial, parallel_run,
+        "a full drift-and-churn replay with re-consolidation cycles must not \
+         differ by a single byte across thread counts"
+    );
+    assert!(
+        serial.contains("\"reconsolidation.completed\""),
+        "the compared run must actually execute re-consolidation cycles"
+    );
+    assert!(
+        serial.contains("\"groups.cutover\""),
+        "the compared run must exercise live cutovers"
+    );
+}
+
 /// Deploys the 2-step plan for `corpus` with telemetry fully enabled,
 /// replays six hours of the composed logs, and serializes the entire
 /// [`ServiceReport`] — counters, histograms, per-instance utilization, and
@@ -263,7 +302,8 @@ fn replay_with_telemetry(
         ServiceConfig::builder()
             .elastic_scaling(false)
             .telemetry(TelemetryConfig::default())
-            .build(),
+            .build()
+            .expect("valid service config"),
     )
     .unwrap();
     let mut log: Vec<IncomingQuery> = corpus

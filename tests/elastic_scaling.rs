@@ -31,7 +31,8 @@ fn scenario(elastic: bool, history: bool) -> (ThriftyService, Vec<IncomingQuery>
         ServiceConfig::builder()
             .elastic_scaling(elastic)
             .scaling_check_interval_ms(60_000)
-            .build(),
+            .build()
+            .expect("valid service config"),
     )
     .unwrap();
     if history {

@@ -58,7 +58,10 @@ fn full_pipeline_consolidates_and_meets_slas() {
         &advice.plan,
         advice.plan.nodes_used() as usize + 8,
         templates,
-        ServiceConfig::builder().elastic_scaling(false).build(),
+        ServiceConfig::builder()
+            .elastic_scaling(false)
+            .build()
+            .expect("valid service config"),
     )
     .unwrap();
     let mut day_one: Vec<IncomingQuery> = composer

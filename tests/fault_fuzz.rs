@@ -54,7 +54,10 @@ fn service_with_one_group(a: u32) -> ThriftyService {
         &plan,
         12,
         [template()],
-        ServiceConfig::builder().elastic_scaling(false).build(),
+        ServiceConfig::builder()
+            .elastic_scaling(false)
+            .build()
+            .expect("valid service config"),
     )
     .unwrap()
 }

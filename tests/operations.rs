@@ -36,7 +36,10 @@ fn small_service(a: u32) -> ThriftyService {
         &plan,
         12,
         [template()],
-        ServiceConfig::builder().elastic_scaling(false).build(),
+        ServiceConfig::builder()
+            .elastic_scaling(false)
+            .build()
+            .expect("valid service config"),
     )
     .unwrap()
 }
@@ -122,7 +125,8 @@ fn reconsolidation_list_collects_scaled_groups() {
         ServiceConfig::builder()
             .elastic_scaling(true)
             .scaling_check_interval_ms(60_000)
-            .build(),
+            .build()
+            .expect("valid service config"),
     )
     .unwrap();
     s.set_historical_activity(members.iter().map(|m| (m.id, 0.02)));

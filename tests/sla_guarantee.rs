@@ -22,7 +22,10 @@ fn service(tenants: u32, nodes: u32, a: u32, templates: &[QueryTemplate]) -> Thr
         &plan(tenants, nodes, a),
         (nodes * a) as usize + 4,
         templates.iter().copied(),
-        ServiceConfig::builder().elastic_scaling(false).build(),
+        ServiceConfig::builder()
+            .elastic_scaling(false)
+            .build()
+            .expect("valid service config"),
     )
     .unwrap()
 }
@@ -155,7 +158,10 @@ fn a_bigger_tuning_mppdb_absorbs_overflow_for_linear_queries() {
         &plan,
         12,
         [linear],
-        ServiceConfig::builder().elastic_scaling(false).build(),
+        ServiceConfig::builder()
+            .elastic_scaling(false)
+            .build()
+            .expect("valid service config"),
     )
     .unwrap();
     // Three concurrently active tenants on A = 2 MPPDBs: tenant 0 grabs the

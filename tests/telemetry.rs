@@ -40,7 +40,10 @@ fn service(a: u32) -> ThriftyService {
         &plan,
         12,
         [template()],
-        ServiceConfig::builder().elastic_scaling(false).build(),
+        ServiceConfig::builder()
+            .elastic_scaling(false)
+            .build()
+            .expect("valid service config"),
     )
     .unwrap()
 }

@@ -1,0 +1,44 @@
+//! Grouping scaling benchmarks: serial vs shard-parallel 2-step on the
+//! synthetic scale corpus — what the `scale` sweep's grouping column
+//! measures, isolated for profiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use thrifty::prelude::*;
+use thrifty_bench::experiments::scale::{synthetic_histories, HORIZON_MS};
+use thrifty_bench::sharded::two_step_grouping_sharded;
+
+fn problem(tenants: usize) -> GroupingProblem {
+    let epoch = EpochConfig::new(600_000, HORIZON_MS);
+    synthetic_histories(42, tenants)
+        .iter()
+        .fold(GroupingProblem::builder(), |b, h| {
+            b.tenant(
+                h.tenant,
+                ActivityVector::from_intervals(&h.intervals, epoch),
+            )
+        })
+        .replication(1)
+        .sla_p(0.999)
+        .build()
+        .expect("synthetic histories form a consistent grouping instance")
+}
+
+fn bench_two_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping_scale/two_step");
+    group.sample_size(10);
+    for tenants in [1_000usize, 2_500, 5_000] {
+        let p = problem(tenants);
+        let config = TwoStepConfig::default();
+        group.bench_with_input(BenchmarkId::new("serial", tenants), &p, |b, p| {
+            b.iter(|| black_box(two_step_grouping_with(p, config).groups.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", tenants), &p, |b, p| {
+            b.iter(|| black_box(two_step_grouping_sharded(p, config).groups.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_step);
+criterion_main!(benches);

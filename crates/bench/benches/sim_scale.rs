@@ -1,0 +1,57 @@
+//! Service-replay scaling benchmarks: the heap-scheduled simulator driven
+//! through [`ThriftyService`] at growing tenant counts — the per-iteration
+//! shape of one `scale` sweep point (generate → plan → deploy → replay).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mppdb_sim::prelude::{QueryTemplate, TemplateId};
+use std::hint::black_box;
+use thrifty::prelude::*;
+use thrifty_bench::experiments::scale::{direct_plan, query_log, synthetic_histories};
+
+fn replay(histories: &[TenantHistory], per_tenant: usize) -> usize {
+    let template = QueryTemplate::new(TemplateId(9_000), 600.0, 0.0);
+    let plan = direct_plan(histories);
+    let queries = query_log(histories, per_tenant, &template);
+    let cfg = ServiceConfig::builder()
+        .elastic_scaling(false)
+        .telemetry(TelemetryConfig::disabled())
+        .build()
+        .expect("valid service config");
+    let mut service = ThriftyService::deploy(&plan, plan.nodes_used() as usize, [template], cfg)
+        .expect("direct plan deploys");
+    service
+        .replay(queries)
+        .expect("scale replay succeeds")
+        .summary
+        .total
+}
+
+fn bench_full_day_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scale/full_day_replay");
+    group.sample_size(10);
+    for tenants in [1_000usize, 5_000, 20_000] {
+        let histories = synthetic_histories(42, tenants);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tenants),
+            &histories,
+            |b, histories| b.iter(|| black_box(replay(histories, 4))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_history_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scale/history_generation");
+    group.sample_size(10);
+    for tenants in [10_000usize, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tenants),
+            &tenants,
+            |b, &tenants| b.iter(|| black_box(synthetic_histories(42, tenants).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_day_replay, bench_history_generation);
+criterion_main!(benches);

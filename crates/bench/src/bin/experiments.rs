@@ -10,9 +10,10 @@ usage: experiments [--full] [--seed N] [--json] <id>... | all | list
 
 ids: fig1.1a fig1.1b fig1.1c tab5.1 fig5.3 tab7.1
      fig7.1 fig7.2 fig7.3 fig7.4 fig7.5 fig7.6 fig7.7
-     drift headline ablate
+     drift scale headline ablate
 
---full    run at the paper's scale (T = 5000, 30-day logs, 100 trials)
+--full    run at the paper's scale (T = 5000, 30-day logs, 100 trials;
+          scale: the 10k/100k/1M tenant sweep)
 --seed N  workload generation seed (default 42)
 --json    also write each result (tables + stage timings) to BENCH_<id>.json
 
@@ -82,7 +83,14 @@ fn main() -> ExitCode {
         }
     );
     let started = std::time::Instant::now();
-    let harness = Harness::new(seed, scale);
+    // Non-corpus runs (e.g. `--full scale`) get a near-free harness that
+    // still carries the seed and scale — generating the full-scale session
+    // library just to throw it away would dwarf the experiment itself.
+    let harness = if needs_corpus {
+        Harness::new(seed, scale)
+    } else {
+        Harness::minimal(seed, scale)
+    };
     if needs_corpus {
         eprintln!("# session library ready in {:.1?}", started.elapsed());
     }

@@ -62,15 +62,19 @@ pub fn ablate(harness: &Harness) -> ExperimentResult {
     // FFD baseline variants: the published baseline (product order, hard
     // capacity) against fuzzy-capacity and size-ordered upgrades.
     let epoch = EpochConfig::new(defaults::EPOCH_MS, corpus.horizon_ms);
-    let problem = {
-        let mut tenants = Vec::new();
-        let mut activities = Vec::new();
-        for (tenant, intervals) in &corpus.histories {
-            tenants.push(*tenant);
-            activities.push(ActivityVector::from_intervals(intervals, epoch));
-        }
-        GroupingProblem::new(tenants, activities, defaults::REPLICATION, defaults::SLA_P)
-    };
+    let problem = corpus
+        .histories
+        .iter()
+        .fold(GroupingProblem::builder(), |b, h| {
+            b.tenant(
+                h.tenant,
+                ActivityVector::from_intervals(&h.intervals, epoch),
+            )
+        })
+        .replication(defaults::REPLICATION)
+        .sla_p(defaults::SLA_P)
+        .build()
+        .expect("generated corpus is a consistent grouping instance");
     let ffd_variants: [(&str, FfdConfig); 3] = [
         (
             "FFD as published (product order, hard capacity)",

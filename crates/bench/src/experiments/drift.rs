@@ -59,7 +59,7 @@ impl DriftRun {
 /// The day-one deployment plan: the advisor run over the scenario's
 /// *estimated* (phase-1-shaped) histories.
 pub fn day_one_plan(scenario: &DriftScenario) -> DeploymentPlan {
-    let histories: Vec<(Tenant, Vec<(u64, u64)>)> = scenario
+    let histories: Vec<TenantHistory> = scenario
         .initial
         .iter()
         .map(|s| {
@@ -68,7 +68,7 @@ pub fn day_one_plan(scenario: &DriftScenario) -> DeploymentPlan {
                 .iter()
                 .find(|(id, _)| *id == s.id)
                 .expect("every initial tenant has a design history");
-            (Tenant::new(s.id, s.nodes, s.data_gb), iv.clone())
+            TenantHistory::new(Tenant::new(s.id, s.nodes, s.data_gb), iv.clone())
         })
         .collect();
     let advisor = DeploymentAdvisor::new(advisor_config(scenario.config.horizon_ms));

@@ -20,14 +20,19 @@ pub fn figure_5_1_instance(r: u32, p: f64) -> GroupingProblem {
         &[0, 1, 4, 5],       // T5
         &[2, 3, 4, 6, 7, 8], // T6
     ];
-    let tenants = (0..6)
-        .map(|i| Tenant::new(TenantId(i as u32), 4, 400.0))
-        .collect();
-    let activities = epochs
+    epochs
         .iter()
-        .map(|e| ActivityVector::from_epochs(e.to_vec(), d))
-        .collect();
-    GroupingProblem::new(tenants, activities, r, p)
+        .enumerate()
+        .fold(GroupingProblem::builder(), |b, (i, e)| {
+            b.tenant(
+                Tenant::new(TenantId(i as u32), 4, 400.0),
+                ActivityVector::from_epochs(e.to_vec(), d),
+            )
+        })
+        .replication(r)
+        .sla_p(p)
+        .build()
+        .expect("the published walk-through instance is consistent")
 }
 
 /// Runs the walk-through.

@@ -66,12 +66,12 @@ pub fn build_scenario(harness: &Harness) -> Fig77Scenario {
     // paper's excerpt ("three other tenants became concurrently active").
     let epoch = EpochConfig::new(defaults::EPOCH_MS, corpus.horizon_ms);
     let activity_of = |id: TenantId| -> ActivityVector {
-        let (_, iv) = corpus
+        let h = corpus
             .histories
             .iter()
-            .find(|(t, _)| t.id == id)
+            .find(|h| h.tenant.id == id)
             .expect("member has a history");
-        ActivityVector::from_intervals(iv, epoch)
+        ActivityVector::from_intervals(&h.intervals, epoch)
     };
     let group_plan = advice
         .plan
@@ -133,10 +133,10 @@ pub fn build_scenario(harness: &Harness) -> Fig77Scenario {
     let historical_ratios: Vec<(TenantId, f64)> = corpus
         .histories
         .iter()
-        .filter(|(t, _)| member_ids.contains(&t.id))
-        .map(|(t, iv)| {
-            let busy: u64 = iv.iter().map(|&(s, e)| e - s).sum();
-            (t.id, busy as f64 / corpus.horizon_ms as f64)
+        .filter(|h| member_ids.contains(&h.tenant.id))
+        .map(|h| {
+            let busy: u64 = h.intervals.iter().map(|&(s, e)| e - s).sum();
+            (h.tenant.id, busy as f64 / corpus.horizon_ms as f64)
         })
         .collect();
     Fig77Scenario {

@@ -8,6 +8,7 @@ pub mod fig5_3;
 pub mod fig7_6;
 pub mod fig7_7;
 pub mod headline;
+pub mod scale;
 pub mod sweeps;
 pub mod tab5_1;
 pub mod tab7_1;
@@ -16,9 +17,9 @@ use crate::pipeline::Harness;
 use crate::report::ExperimentResult;
 
 /// Every experiment id, in presentation order.
-pub const ALL_IDS: [&str; 14] = [
+pub const ALL_IDS: [&str; 15] = [
     "fig1.1a", "fig1.1b", "fig1.1c", "tab5.1", "fig5.3", "tab7.1", "fig7.1", "fig7.2", "fig7.3",
-    "fig7.4", "fig7.5", "fig7.6", "fig7.7", "drift",
+    "fig7.4", "fig7.5", "fig7.6", "fig7.7", "drift", "scale",
 ];
 
 /// Experiments that need the generated corpus (and therefore a harness).
@@ -48,6 +49,7 @@ pub fn run(id: &str, harness: &Harness) -> Option<ExperimentResult> {
         "fig7.6" => fig7_6::fig_7_6(harness),
         "fig7.7" => fig7_7::fig_7_7(harness),
         "drift" => drift::drift(),
+        "scale" => scale::scale(harness.scale(), harness.base_config().seed),
         "headline" => headline::headline(harness),
         "ablate" => ablate::ablate(harness),
         _ => return None,

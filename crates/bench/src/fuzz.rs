@@ -600,11 +600,20 @@ pub fn fuzz_lifecycle(seed: u64) -> Result<LifecycleFuzzOutcome, String> {
         let roll: u32 = rng.gen_range(0u32..100);
         if roll < 30 {
             // Let time pass (bulk loads land, queries finish, groups drain).
+            // Half the rolls advance to the instant, half also run the
+            // in-flight work to quiescence — both public stepping entry
+            // points stay under fuzz.
             let dt = rng.gen_range(60_000u64..1_200_000);
             let target = SimTime::from_ms(service.log_now().as_ms() + dt);
-            service
-                .advance_log_time(target)
-                .map_err(|e| format!("seed {seed} step {step}: advance: {e}"))?;
+            if roll < 15 {
+                service
+                    .advance_log_time(target)
+                    .map_err(|e| format!("seed {seed} step {step}: advance: {e}"))?;
+            } else {
+                service
+                    .run_until_quiescent_at(target)
+                    .map_err(|e| format!("seed {seed} step {step}: quiesce: {e}"))?;
+            }
         } else if roll < 60 {
             // Submit a query for a random live tenant (parked included).
             let live = service.live_tenants();

@@ -23,3 +23,4 @@ pub mod fuzz;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
+pub mod sharded;

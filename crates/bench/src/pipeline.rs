@@ -56,7 +56,7 @@ pub struct Harness {
 }
 
 /// One tenant's consolidated inputs: core tenant + merged busy intervals.
-pub type History = (Tenant, Vec<(u64, u64)>);
+pub type History = TenantHistory;
 
 impl Harness {
     /// Builds the harness (runs Step 1 of the log generation once).
@@ -68,6 +68,28 @@ impl Harness {
     /// custom runs); treated as [`Scale::Small`] for sweep ranges.
     pub fn from_config(cfg: GenerationConfig) -> Self {
         Harness::with_scale(cfg, Scale::Small)
+    }
+
+    /// Builds a near-free harness that still carries `seed` and `scale`
+    /// for experiments that never touch the corpus (e.g. the `scale`
+    /// sweep, which synthesizes its own histories). The session library
+    /// is generated from a one-tenant, one-trial config, so constructing
+    /// this at [`Scale::Full`] costs milliseconds, not hours.
+    pub fn minimal(seed: u64, scale: Scale) -> Self {
+        let mut tiny = GenerationConfig::small(seed, 1);
+        tiny.session_trials = 1;
+        let library = SessionLibrary::generate(&tiny);
+        // Keep the *reported* base config at the requested scale so
+        // `base_config().seed` and sweep ranges stay truthful; corpus
+        // generation is what `CORPUS_IDS` gates on, not this struct.
+        let mut base = scale.base_config(seed);
+        base.session_trials = tiny.session_trials;
+        base.parallelism_levels = tiny.parallelism_levels.clone();
+        Harness {
+            base,
+            library,
+            scale,
+        }
     }
 
     fn with_scale(base: GenerationConfig, scale: Scale) -> Self {
@@ -110,7 +132,7 @@ impl Harness {
         // intervals derive from its own seeded stream, so the fan-out is
         // order-independent (see crate::parallel's determinism contract).
         let histories: Vec<History> = crate::parallel::par_map("histories", &specs, |s| {
-            (
+            TenantHistory::new(
                 Tenant::new(s.id, s.nodes, s.data_gb),
                 composer.busy_intervals(s),
             )
@@ -156,7 +178,7 @@ impl CorpusView {
     /// number of concurrently active tenants).
     pub fn stats(&self) -> ActivityStats {
         let per_tenant: Vec<Vec<(u64, u64)>> =
-            self.histories.iter().map(|(_, iv)| iv.clone()).collect();
+            self.histories.iter().map(|h| h.intervals.clone()).collect();
         activity_stats(&per_tenant, self.horizon_ms)
     }
 }
@@ -247,10 +269,10 @@ mod tests {
         let corpus = h.default_histories();
         assert_eq!(corpus.specs.len(), 60);
         assert_eq!(corpus.histories.len(), 60);
-        for (spec, (tenant, iv)) in corpus.specs.iter().zip(&corpus.histories) {
-            assert_eq!(spec.id, tenant.id);
-            assert_eq!(spec.nodes, tenant.nodes);
-            assert!(!iv.is_empty(), "every tenant has some activity");
+        for (spec, h) in corpus.specs.iter().zip(&corpus.histories) {
+            assert_eq!(spec.id, h.tenant.id);
+            assert_eq!(spec.nodes, h.tenant.nodes);
+            assert!(!h.intervals.is_empty(), "every tenant has some activity");
         }
         let ratio = corpus.average_active_ratio();
         assert!((0.004..0.4).contains(&ratio), "ratio {ratio}");
@@ -274,8 +296,8 @@ mod tests {
         let h = tiny_harness();
         let a = h.histories(|c| c.theta = 0.1);
         let b = h.histories(|c| c.theta = 0.99);
-        let small_a = a.histories.iter().filter(|(t, _)| t.nodes == 2).count();
-        let small_b = b.histories.iter().filter(|(t, _)| t.nodes == 2).count();
+        let small_a = a.histories.iter().filter(|h| h.tenant.nodes == 2).count();
+        let small_b = b.histories.iter().filter(|h| h.tenant.nodes == 2).count();
         assert!(small_b > small_a, "higher skew -> more small tenants");
     }
 

@@ -1,0 +1,73 @@
+//! Shard-parallel 2-step grouping.
+//!
+//! Step 1 of the heuristic partitions the tenant population into
+//! homogeneous node-size buckets, and Step 2 never looks across a bucket
+//! boundary — so the buckets are embarrassingly parallel shards. The core
+//! exposes the partition ([`two_step_buckets`]) and the per-bucket split
+//! ([`split_size_bucket`]); this module fans the splits out over
+//! [`crate::parallel::par_map`] and concatenates the per-bucket groups in
+//! the serial processing order (largest node size first).
+//!
+//! The merge is order-preserving and each shard's work is a pure function
+//! of `(problem, bucket)`, so the result is **byte-identical** to
+//! [`two_step_grouping_with`] at any thread count —
+//! `tests/determinism.rs` pins this on seeded random problems. Within a
+//! bucket the greedy grow loop is inherently sequential (every pick
+//! depends on the group so far), which is why the bucket is the sharding
+//! unit.
+
+use thrifty::prelude::*;
+
+/// Runs the 2-step heuristic with the per-size-bucket splits fanned out
+/// across the deterministic thread pool. Byte-identical to
+/// [`two_step_grouping_with`].
+pub fn two_step_grouping_sharded(
+    problem: &GroupingProblem,
+    config: TwoStepConfig,
+) -> GroupingSolution {
+    let buckets = two_step_buckets(problem, config);
+    let per_bucket = crate::parallel::par_map("two_step_shards", &buckets, |bucket| {
+        split_size_bucket(problem, bucket, config)
+    });
+    GroupingSolution {
+        groups: per_bucket.into_iter().flatten().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_problem() -> GroupingProblem {
+        // Deterministic but irregular: sizes cycle 2/4/8, activities tile
+        // different epoch strides.
+        let d = 60;
+        let mut builder = GroupingProblem::builder().replication(2).sla_p(0.95);
+        for i in 0..30u32 {
+            let nodes = [2, 4, 8][(i % 3) as usize];
+            let epochs: Vec<u32> = (0..d).filter(|e| (e + i) % (3 + i % 5) == 0).collect();
+            builder = builder.tenant(
+                Tenant::new(TenantId(i), nodes, f64::from(nodes) * 100.0),
+                ActivityVector::from_epochs(epochs, d),
+            );
+        }
+        builder.build().expect("consistent inputs")
+    }
+
+    #[test]
+    fn sharded_matches_serial() {
+        let problem = mixed_problem();
+        for config in [
+            TwoStepConfig::default(),
+            TwoStepConfig {
+                skip_size_grouping: true,
+                ..TwoStepConfig::default()
+            },
+        ] {
+            let serial = two_step_grouping_with(&problem, config);
+            let sharded = two_step_grouping_sharded(&problem, config);
+            assert_eq!(serial, sharded);
+            sharded.validate(&problem).expect("valid partition");
+        }
+    }
+}

@@ -15,7 +15,8 @@ use crate::grouping::{
     TwoStepConfig,
 };
 use crate::metrics::ConsolidationReport;
-use crate::tenant::Tenant;
+use crate::tenant::{Tenant, TenantHistory};
+use std::borrow::Borrow;
 use std::time::Duration;
 
 /// Which grouping algorithm the advisor runs.
@@ -135,15 +136,23 @@ impl DeploymentAdvisor {
         &self.config
     }
 
-    /// Produces a deployment plan from `(tenant, merged busy intervals)`
-    /// histories.
-    pub fn advise(&self, histories: &[(Tenant, Vec<(u64, u64)>)]) -> Advice {
+    /// Produces a deployment plan from tenant activity histories.
+    ///
+    /// Accepts anything that iterates over [`TenantHistory`] — a
+    /// `&[TenantHistory]` slice, a `&Vec<TenantHistory>`, or an iterator
+    /// of owned histories — so callers never build positional tuples.
+    pub fn advise<I>(&self, histories: I) -> Advice
+    where
+        I: IntoIterator,
+        I::Item: Borrow<TenantHistory>,
+    {
         let cfg = &self.config;
         let mut tenants = Vec::new();
         let mut activities = Vec::new();
         let mut excluded = Vec::new();
         let mut burst_excluded = Vec::new();
-        for (tenant, intervals) in histories {
+        for h in histories {
+            let TenantHistory { tenant, intervals } = h.borrow();
             let v = ActivityVector::from_intervals(intervals, cfg.epoch);
             if v.active_ratio() > cfg.exclusion.max_active_ratio
                 || tenant.data_gb > cfg.exclusion.max_data_gb
@@ -193,17 +202,17 @@ mod tests {
     use super::*;
     use crate::tenant::TenantId;
 
-    fn histories() -> Vec<(Tenant, Vec<(u64, u64)>)> {
+    fn histories() -> Vec<TenantHistory> {
         // Horizon 100 ms, epochs of 10 ms.
         vec![
             // Bursty tenant, active in 2 epochs.
-            (Tenant::new(TenantId(0), 4, 400.0), vec![(0, 15)]),
+            TenantHistory::new(Tenant::new(TenantId(0), 4, 400.0), vec![(0, 15)]),
             // Disjointly bursty tenant.
-            (Tenant::new(TenantId(1), 4, 400.0), vec![(50, 70)]),
+            TenantHistory::new(Tenant::new(TenantId(1), 4, 400.0), vec![(50, 70)]),
             // Always-active tenant: must be excluded.
-            (Tenant::new(TenantId(2), 4, 400.0), vec![(0, 100)]),
+            TenantHistory::new(Tenant::new(TenantId(2), 4, 400.0), vec![(0, 100)]),
             // Over-sized tenant: must be excluded.
-            (Tenant::new(TenantId(3), 4, 40_000.0), vec![(30, 40)]),
+            TenantHistory::new(Tenant::new(TenantId(3), 4, 40_000.0), vec![(30, 40)]),
         ]
     }
 
@@ -219,7 +228,7 @@ mod tests {
 
     #[test]
     fn advisor_excludes_hopeless_tenants() {
-        let advice = DeploymentAdvisor::new(config()).advise(&histories());
+        let advice = DeploymentAdvisor::new(config()).advise(histories());
         let excluded_ids: Vec<u32> = advice.excluded.iter().map(|t| t.id.0).collect();
         assert_eq!(excluded_ids, vec![2, 3]);
         assert_eq!(advice.plan.tenant_count(), 2);
@@ -227,7 +236,7 @@ mod tests {
 
     #[test]
     fn advisor_consolidates_disjoint_tenants() {
-        let advice = DeploymentAdvisor::new(config()).advise(&histories());
+        let advice = DeploymentAdvisor::new(config()).advise(histories());
         // The two bursty tenants never overlap -> one group, R = 2 replicas
         // of a 4-node MPPDB = 8 nodes for 8 requested.
         assert_eq!(advice.plan.groups.len(), 1);
@@ -240,12 +249,12 @@ mod tests {
     fn algorithm_switch_changes_the_solver() {
         let mut cfg = config();
         cfg.algorithm = GroupingAlgorithm::Ffd;
-        let advice = DeploymentAdvisor::new(cfg).advise(&histories());
+        let advice = DeploymentAdvisor::new(cfg).advise(histories());
         assert_eq!(advice.report.algorithm, "FFD");
         advice.solution.validate(&advice.problem).unwrap();
 
         cfg.algorithm = GroupingAlgorithm::Exact;
-        let advice = DeploymentAdvisor::new(cfg).advise(&histories());
+        let advice = DeploymentAdvisor::new(cfg).advise(histories());
         assert_eq!(advice.report.algorithm, "exact");
         advice.solution.validate(&advice.problem).unwrap();
     }

@@ -14,6 +14,7 @@
 //! with `n_i` ignored; LIVBPwFC is therefore NP-hard.
 
 use crate::activity::ActivityVector;
+use crate::error::{ThriftyError, ThriftyResult};
 use crate::grouping::histogram::ActiveCountHistogram;
 use crate::tenant::Tenant;
 use serde::{Deserialize, Serialize};
@@ -34,7 +35,28 @@ pub struct GroupingProblem {
 }
 
 impl GroupingProblem {
-    /// Creates a problem instance.
+    /// Starts building a problem instance with Table 7.1 defaults
+    /// (`R = 3`, `P = 0.999`) — the validating construction surface.
+    ///
+    /// ```
+    /// use thrifty::prelude::*;
+    /// let problem = GroupingProblem::builder()
+    ///     .tenant(Tenant::new(TenantId(0), 4, 400.0),
+    ///             ActivityVector::from_epochs(vec![0, 1], 10))
+    ///     .replication(2)
+    ///     .sla_p(0.99)
+    ///     .build()
+    ///     .expect("consistent inputs");
+    /// assert_eq!(problem.len(), 1);
+    /// ```
+    pub fn builder() -> GroupingProblemBuilder {
+        GroupingProblemBuilder::default()
+    }
+
+    /// Creates a problem instance from pre-validated parts. Prefer
+    /// [`GroupingProblem::builder`], which reports inconsistent inputs as
+    /// a [`ThriftyError`] instead of panicking and also rejects an empty
+    /// tenant population.
     ///
     /// # Panics
     /// Panics if inputs are inconsistent (length mismatch, mixed `d`,
@@ -118,6 +140,111 @@ impl GroupingProblem {
             .max()
             .unwrap_or(0);
         u64::from(self.replication) * max_n
+    }
+}
+
+/// Validating builder for [`GroupingProblem`] — see
+/// [`GroupingProblem::builder`].
+///
+/// Follows the same discipline as
+/// [`ServiceConfigBuilder::build`](crate::service::ServiceConfigBuilder):
+/// every inconsistency surfaces as a
+/// [`ThriftyError::InvalidConfig`] from [`build`](Self::build) rather
+/// than a panic, so callers assembling problems from external data can
+/// propagate with `?`.
+#[derive(Clone, Debug)]
+pub struct GroupingProblemBuilder {
+    tenants: Vec<Tenant>,
+    activities: Vec<ActivityVector>,
+    replication: u32,
+    sla_p: f64,
+}
+
+impl Default for GroupingProblemBuilder {
+    fn default() -> Self {
+        GroupingProblemBuilder {
+            tenants: Vec::new(),
+            activities: Vec::new(),
+            replication: 3,
+            sla_p: 0.999,
+        }
+    }
+}
+
+impl GroupingProblemBuilder {
+    /// Sets the tenant list (paired index-wise with
+    /// [`activities`](Self::activities)).
+    pub fn tenants(mut self, tenants: Vec<Tenant>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Sets the activity vectors (paired index-wise with
+    /// [`tenants`](Self::tenants)).
+    pub fn activities(mut self, activities: Vec<ActivityVector>) -> Self {
+        self.activities = activities;
+        self
+    }
+
+    /// Appends one tenant together with its activity vector.
+    pub fn tenant(mut self, tenant: Tenant, activity: ActivityVector) -> Self {
+        self.tenants.push(tenant);
+        self.activities.push(activity);
+        self
+    }
+
+    /// Sets the replication factor `R` (default 3).
+    pub fn replication(mut self, replication: u32) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Sets the performance SLA guarantee `P` (default 0.999).
+    pub fn sla_p(mut self, sla_p: f64) -> Self {
+        self.sla_p = sla_p;
+        self
+    }
+
+    /// Validates the assembled instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThriftyError::InvalidConfig`] if the tenant and activity
+    /// lists differ in length, the population is empty, `R = 0`, `P` lies
+    /// outside `(0, 1]`, or the activity vectors disagree on the epoch
+    /// count `d`.
+    pub fn build(self) -> ThriftyResult<GroupingProblem> {
+        if self.tenants.len() != self.activities.len() {
+            return Err(ThriftyError::InvalidConfig(
+                "grouping problem needs one activity vector per tenant",
+            ));
+        }
+        if self.activities.is_empty() {
+            return Err(ThriftyError::InvalidConfig(
+                "grouping problem needs at least one tenant",
+            ));
+        }
+        if self.replication < 1 {
+            return Err(ThriftyError::InvalidConfig(
+                "replication factor must be at least 1",
+            ));
+        }
+        if !(self.sla_p > 0.0 && self.sla_p <= 1.0) {
+            return Err(ThriftyError::InvalidConfig("P must lie in (0, 1]"));
+        }
+        if let Some(first) = self.activities.first() {
+            if !self.activities.iter().all(|a| a.d() == first.d()) {
+                return Err(ThriftyError::InvalidConfig(
+                    "all activity vectors must share the same epoch count",
+                ));
+            }
+        }
+        Ok(GroupingProblem {
+            tenants: self.tenants,
+            activities: self.activities,
+            replication: self.replication,
+            sla_p: self.sla_p,
+        })
     }
 }
 
@@ -301,5 +428,78 @@ pub(crate) mod tests {
     #[should_panic(expected = "one activity vector per tenant")]
     fn mismatched_lengths_panic() {
         let _ = GroupingProblem::new(vec![Tenant::new(TenantId(0), 2, 200.0)], vec![], 3, 0.999);
+    }
+
+    #[test]
+    fn builder_accepts_consistent_inputs() {
+        let problem = GroupingProblem::builder()
+            .tenant(
+                Tenant::new(TenantId(0), 4, 400.0),
+                ActivityVector::from_epochs(vec![0, 1], 10),
+            )
+            .tenant(
+                Tenant::new(TenantId(1), 4, 400.0),
+                ActivityVector::from_epochs(vec![5], 10),
+            )
+            .replication(2)
+            .sla_p(0.99)
+            .build()
+            .expect("consistent inputs");
+        assert_eq!(problem.len(), 2);
+        assert_eq!(problem.replication, 2);
+        assert!((problem.sla_p - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_defaults_match_table_7_1() {
+        let problem = GroupingProblem::builder()
+            .tenant(
+                Tenant::new(TenantId(0), 4, 400.0),
+                ActivityVector::empty(10),
+            )
+            .build()
+            .expect("defaults are valid");
+        assert_eq!(problem.replication, 3);
+        assert!((problem.sla_p - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_inputs() {
+        use crate::error::ThriftyError;
+        let t = Tenant::new(TenantId(0), 4, 400.0);
+        let v = || ActivityVector::empty(10);
+        let cases: Vec<(GroupingProblemBuilder, &str)> = vec![
+            (GroupingProblem::builder(), "at least one tenant"),
+            (
+                GroupingProblem::builder().tenants(vec![t]),
+                "one activity vector per tenant",
+            ),
+            (
+                GroupingProblem::builder().tenant(t, v()).replication(0),
+                "at least 1",
+            ),
+            (
+                GroupingProblem::builder().tenant(t, v()).sla_p(0.0),
+                "(0, 1]",
+            ),
+            (
+                GroupingProblem::builder().tenant(t, v()).sla_p(1.5),
+                "(0, 1]",
+            ),
+            (
+                GroupingProblem::builder()
+                    .tenant(t, v())
+                    .tenant(t, ActivityVector::empty(20)),
+                "same epoch count",
+            ),
+        ];
+        for (builder, needle) in cases {
+            match builder.build() {
+                Err(ThriftyError::InvalidConfig(msg)) => {
+                    assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+                }
+                other => panic!("expected InvalidConfig({needle}), got {other:?}"),
+            }
+        }
     }
 }

@@ -19,7 +19,8 @@ pub mod two_step;
 pub use exact::{exact_grouping, MAX_EXACT_TENANTS};
 pub use ffd::{ffd_grouping, ffd_grouping_with, FfdCapacity, FfdConfig, FfdOrder};
 pub use histogram::{compare_level_hists, ActiveCountHistogram};
-pub use livbpwfc::{GroupingProblem, GroupingSolution, TenantGroup};
+pub use livbpwfc::{GroupingProblem, GroupingProblemBuilder, GroupingSolution, TenantGroup};
 pub use two_step::{
-    two_step_grouping, two_step_grouping_with, GroupClosing, TieBreaking, TwoStepConfig,
+    split_size_bucket, two_step_buckets, two_step_grouping, two_step_grouping_with, GroupClosing,
+    TieBreaking, TwoStepConfig,
 };

@@ -79,21 +79,44 @@ pub fn two_step_grouping_with(
     config: TwoStepConfig,
 ) -> GroupingSolution {
     let mut groups = Vec::new();
-    if config.skip_size_grouping {
-        let all: Vec<usize> = (0..problem.len()).collect();
-        split_bucket(problem, &all, config, &mut groups);
-    } else {
-        // Step 1: homogeneous node-size buckets, processed largest size
-        // first for a deterministic group order.
-        let mut buckets: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-        for (i, t) in problem.tenants.iter().enumerate() {
-            buckets.entry(t.nodes).or_default().push(i);
-        }
-        for (_, bucket) in buckets.iter().rev() {
-            split_bucket(problem, bucket, config, &mut groups);
-        }
+    for bucket in two_step_buckets(problem, config) {
+        split_bucket(problem, &bucket, config, &mut groups);
     }
     GroupingSolution { groups }
+}
+
+/// Step 1 alone: partitions the tenant indices into the homogeneous
+/// node-size buckets the heuristic splits independently, in the order it
+/// processes them (largest node size first). With `skip_size_grouping`
+/// the whole pool is a single bucket.
+///
+/// Buckets are independent shards: Step 2 never looks across a bucket
+/// boundary, so splitting them concurrently — see
+/// `thrifty_bench::sharded::two_step_grouping_sharded` — and
+/// concatenating the per-bucket groups in this order reproduces
+/// [`two_step_grouping_with`] byte for byte.
+pub fn two_step_buckets(problem: &GroupingProblem, config: TwoStepConfig) -> Vec<Vec<usize>> {
+    if config.skip_size_grouping {
+        return vec![(0..problem.len()).collect()];
+    }
+    let mut buckets: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, t) in problem.tenants.iter().enumerate() {
+        buckets.entry(t.nodes).or_default().push(i);
+    }
+    buckets.into_values().rev().collect()
+}
+
+/// Step 2 alone: splits one Step-1 bucket into tenant-groups and returns
+/// them in creation order. `bucket` must come from [`two_step_buckets`]
+/// (or otherwise hold indices into `problem`).
+pub fn split_size_bucket(
+    problem: &GroupingProblem,
+    bucket: &[usize],
+    config: TwoStepConfig,
+) -> Vec<TenantGroup> {
+    let mut out = Vec::new();
+    split_bucket(problem, bucket, config, &mut out);
+    out
 }
 
 /// Step 2: split one initial group into tenant-groups.
@@ -332,5 +355,43 @@ mod tests {
         let problem = GroupingProblem::new(vec![], vec![], 3, 0.999);
         let solution = two_step_grouping(&problem);
         assert!(solution.groups.is_empty());
+    }
+
+    #[test]
+    fn buckets_then_splits_reproduce_the_solver() {
+        // The exposed shard surface (Step-1 buckets + per-bucket Step-2)
+        // must compose back into exactly what the one-call solver returns.
+        let d = 10;
+        let tenants = vec![
+            Tenant::new(TenantId(0), 2, 200.0),
+            Tenant::new(TenantId(1), 8, 800.0),
+            Tenant::new(TenantId(2), 2, 200.0),
+            Tenant::new(TenantId(3), 8, 800.0),
+        ];
+        let activities = vec![
+            ActivityVector::from_epochs(vec![0, 1], d),
+            ActivityVector::from_epochs(vec![2], d),
+            ActivityVector::from_epochs(vec![5], d),
+            ActivityVector::empty(d),
+        ];
+        let problem = GroupingProblem::new(tenants, activities, 2, 0.999);
+        let config = TwoStepConfig::default();
+        let buckets = two_step_buckets(&problem, config);
+        assert_eq!(buckets, vec![vec![1, 3], vec![0, 2]], "largest size first");
+        let composed: Vec<TenantGroup> = buckets
+            .iter()
+            .flat_map(|b| split_size_bucket(&problem, b, config))
+            .collect();
+        let direct = two_step_grouping_with(&problem, config);
+        assert_eq!(composed, direct.groups);
+
+        let one = two_step_buckets(
+            &problem,
+            TwoStepConfig {
+                skip_size_grouping: true,
+                ..config
+            },
+        );
+        assert_eq!(one, vec![vec![0, 1, 2, 3]], "ablation: a single bucket");
     }
 }

@@ -40,8 +40,8 @@
 //! // tenant-group: R = 2 replicas of a 4-node MPPDB — 8 nodes for 8
 //! // requested, plus the SLA guarantee and 2x replication for free.
 //! let histories = vec![
-//!     (Tenant::new(TenantId(0), 4, 400.0), vec![(0u64, 30_000u64)]),
-//!     (Tenant::new(TenantId(1), 4, 400.0), vec![(60_000, 90_000)]),
+//!     TenantHistory::new(Tenant::new(TenantId(0), 4, 400.0), vec![(0, 30_000)]),
+//!     TenantHistory::new(Tenant::new(TenantId(1), 4, 400.0), vec![(60_000, 90_000)]),
 //! ];
 //! let advisor = DeploymentAdvisor::new(AdvisorConfig {
 //!     replication: 2,
@@ -96,9 +96,10 @@ pub mod prelude {
     };
     pub use crate::error::{ThriftyError, ThriftyResult};
     pub use crate::grouping::{
-        exact_grouping, ffd_grouping, ffd_grouping_with, two_step_grouping, two_step_grouping_with,
-        ActiveCountHistogram, FfdCapacity, FfdConfig, FfdOrder, GroupClosing, GroupingProblem,
-        GroupingSolution, TenantGroup, TieBreaking, TwoStepConfig,
+        exact_grouping, ffd_grouping, ffd_grouping_with, split_size_bucket, two_step_buckets,
+        two_step_grouping, two_step_grouping_with, ActiveCountHistogram, FfdCapacity, FfdConfig,
+        FfdOrder, GroupClosing, GroupingProblem, GroupingProblemBuilder, GroupingSolution,
+        TenantGroup, TieBreaking, TwoStepConfig,
     };
     pub use crate::master::{Deployment, DeploymentMaster};
     pub use crate::metrics::ConsolidationReport;
@@ -115,6 +116,6 @@ pub mod prelude {
         InstanceUtilization, Registry, Telemetry, TelemetryConfig, TelemetryEvent,
         TelemetrySnapshot,
     };
-    pub use crate::tenant::{Tenant, TenantId};
+    pub use crate::tenant::{Tenant, TenantHistory, TenantId};
     pub use crate::tuning::recommend_tuning_nodes;
 }

@@ -35,6 +35,36 @@ impl Tenant {
     }
 }
 
+/// One tenant's activity history: the tenant plus its merged busy
+/// intervals `(start_ms, end_ms)` on the history timeline.
+///
+/// This is the input shape of the
+/// [`DeploymentAdvisor`](crate::advisor::DeploymentAdvisor) and of the
+/// re-consolidation planner's monitoring window — everywhere the system
+/// needs "who was busy when". Intervals are half-open `[start, end)`
+/// milliseconds relative to the start of the observation horizon, sorted
+/// and disjoint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantHistory {
+    /// The tenant the intervals belong to.
+    pub tenant: Tenant,
+    /// Merged busy intervals in horizon-relative milliseconds.
+    pub intervals: Vec<(u64, u64)>,
+}
+
+impl TenantHistory {
+    /// Pairs a tenant with its busy intervals.
+    pub fn new(tenant: Tenant, intervals: Vec<(u64, u64)>) -> Self {
+        TenantHistory { tenant, intervals }
+    }
+}
+
+impl From<(Tenant, Vec<(u64, u64)>)> for TenantHistory {
+    fn from((tenant, intervals): (Tenant, Vec<(u64, u64)>)) -> Self {
+        TenantHistory { tenant, intervals }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

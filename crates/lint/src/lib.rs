@@ -13,7 +13,7 @@
 //! | L1   | all workspace crates   | `HashMap`/`HashSet` (iteration order is random)   |
 //! | L2   | `core`,`sim`,`workload`| `Instant`/`SystemTime`/`thread_rng` ambient state |
 //! | L3   | all but `bench::parallel` | `spawn` (ad-hoc threading)                     |
-//! | L4   | `core`,`sim` non-test  | `.unwrap()`/`.expect()`/`panic!`/`unreachable!`   |
+//! | L4   | `core`,`sim`,`workload` non-test | `.unwrap()`/`.expect()`/`panic!`/`unreachable!` |
 //! | L5   | `sim`                  | bare `as` casts to integer types                  |
 //!
 //! Legitimate exceptions are annotated in the source with
@@ -560,9 +560,11 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
             );
         }
 
-        // L4: panicking APIs in core/sim library code.
-        if matches!(ctx.scope, CrateScope::Core | CrateScope::Sim)
-            && !ctx.allowed("panic", tok.line)
+        // L4: panicking APIs in core/sim/workload library code.
+        if matches!(
+            ctx.scope,
+            CrateScope::Core | CrateScope::Sim | CrateScope::Workload
+        ) && !ctx.allowed("panic", tok.line)
         {
             let method_call = |m: &str| {
                 name == m
@@ -755,7 +757,9 @@ mod tests {
 
         let unwrap = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert_eq!(lint_source("crates/sim/src/x.rs", unwrap).len(), 1);
-        assert!(lint_source("crates/workload/src/x.rs", unwrap).is_empty());
+        // PR 7 extends the no-panic posture into the workload crate.
+        assert_eq!(lint_source("crates/workload/src/x.rs", unwrap).len(), 1);
+        assert!(lint_source("crates/bench/src/x.rs", unwrap).is_empty());
     }
 
     #[test]

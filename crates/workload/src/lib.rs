@@ -46,6 +46,7 @@ pub mod rng;
 pub mod session;
 pub mod templates;
 pub mod tenant;
+pub mod wakeup;
 pub mod zipf;
 
 /// Commonly used types, re-exported for glob import.
@@ -63,5 +64,6 @@ pub mod prelude {
         catalog, template_name, tpch_q1, tpch_q19, Benchmark, NamedTemplate,
     };
     pub use crate::tenant::TenantSpec;
+    pub use crate::wakeup::WakeupHeap;
     pub use crate::zipf::ZipfSampler;
 }

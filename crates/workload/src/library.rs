@@ -53,6 +53,8 @@ impl SessionLibrary {
     pub fn sessions(&self, parallelism: u32, benchmark: Benchmark) -> &[SessionLog] {
         self.sessions
             .get(&(parallelism, benchmark))
+            // A missing pair is caller misconfiguration (documented above);
+            // there is no sensible fallback session. lint: allow(panic)
             .unwrap_or_else(|| panic!("no sessions for {parallelism}-node {benchmark}"))
     }
 

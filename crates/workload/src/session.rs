@@ -16,6 +16,7 @@ use crate::activity::merge_intervals;
 use crate::config::GenerationConfig;
 use crate::log::{LoggedQuery, SessionLog};
 use crate::templates::{catalog, Benchmark};
+use crate::wakeup::WakeupHeap;
 use mppdb_sim::prelude::*;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -49,6 +50,8 @@ pub fn generate_session(
     ));
     let instance = cluster
         .provision_instance(parallelism as usize, &[(tenant, data_gb)])
+        // A freshly built dedicated cluster with instant provisioning
+        // always has room for its own instance. lint: allow(panic)
         .expect("dedicated cluster sized for the instance");
 
     let users_n = rng.gen_range(1..=cfg.max_users);
@@ -65,6 +68,16 @@ pub fn generate_session(
             outstanding: 0,
         })
         .collect();
+    // The wake-up heap mirrors each user's `next_action`: the heap decides
+    // *which* user acts next in O(log S); the `UserState` stays the
+    // authority on *whether* an entry is still current (stale entries are
+    // discarded at peek time).
+    let mut wakeups = WakeupHeap::with_capacity(users.len());
+    for (i, u) in users.iter().enumerate() {
+        if let Some(t) = u.next_action {
+            wakeups.push(t, i);
+        }
+    }
 
     let mut owner: BTreeMap<QueryId, usize> = BTreeMap::new();
     let mut queries: Vec<LoggedQuery> = Vec::new();
@@ -72,6 +85,7 @@ pub fn generate_session(
 
     let record = |completions: Vec<SimEvent>,
                   users: &mut Vec<UserState>,
+                  wakeups: &mut WakeupHeap,
                   owner: &mut BTreeMap<QueryId, usize>,
                   queries: &mut Vec<LoggedQuery>,
                   busy_raw: &mut Vec<(u64, u64)>,
@@ -85,34 +99,58 @@ pub fn generate_session(
                     latency: c.latency,
                 });
                 busy_raw.push((c.submitted.as_ms(), c.finished.as_ms()));
-                let u = owner.remove(&c.query).expect("every query has an owner");
+                // Every completion stems from a submission recorded in
+                // `owner`; an unknown query id would mean the simulator
+                // invented one, so there is no sensible user to credit.
+                let Some(u) = owner.remove(&c.query) else {
+                    continue;
+                };
                 let user = &mut users[u];
                 user.outstanding -= 1;
                 if user.outstanding == 0 {
                     let think = rng.gen_range(cfg.think_secs.0..=cfg.think_secs.1);
-                    user.next_action = Some(c.finished + SimDuration::from_secs(think));
+                    let at = c.finished + SimDuration::from_secs(think);
+                    user.next_action = Some(at);
+                    wakeups.push(at, u);
                 }
             }
         }
     };
 
     loop {
-        // Earliest pending user action within the session window.
-        let next_user = users
-            .iter()
-            .enumerate()
-            .filter_map(|(i, u)| u.next_action.map(|t| (t, i)))
-            .filter(|&(t, _)| t < session_end)
-            .min();
+        // Earliest pending user action within the session window: peek the
+        // heap, lazily discarding entries that no longer match the user's
+        // authoritative state and wake-ups past the session end (those
+        // users never act again).
+        let next_user = loop {
+            let Some((t, i)) = wakeups.peek() else {
+                break None;
+            };
+            if users[i].next_action != Some(t) {
+                wakeups.pop();
+                continue;
+            }
+            if t >= session_end {
+                wakeups.pop();
+                users[i].next_action = None;
+                continue;
+            }
+            break Some((t, i));
+        };
         let next_sim = cluster.peek_next_event_time();
         match (next_user, next_sim) {
-            (Some((tu, ui)), sim) if sim.is_none() || tu <= sim.expect("checked") => {
+            (Some((tu, ui)), sim) if sim.is_none_or(|ts| tu <= ts) => {
+                // Claim this wake-up before delivering completions:
+                // `record` pushes fresh entries, and the claimed one must
+                // not shadow them at the top of the heap.
+                wakeups.pop();
                 // Deliver completions strictly before the action instant so
                 // the cluster state is current, then act.
                 let events = cluster.run_until(tu);
                 record(
                     events,
                     &mut users,
+                    &mut wakeups,
                     &mut owner,
                     &mut queries,
                     &mut busy_raw,
@@ -120,8 +158,9 @@ pub fn generate_session(
                     cfg,
                 );
                 let user = &mut users[ui];
-                // The completion handler may have rescheduled this user; if
-                // its action time moved, re-evaluate on the next iteration.
+                // A pending wake-up implies nothing outstanding, so the
+                // completion handler cannot have rescheduled this user;
+                // the check guards that invariant.
                 if user.next_action != Some(tu) {
                     continue;
                 }
@@ -137,17 +176,19 @@ pub fn generate_session(
                     let t = templates[rng.gen_range(0..templates.len())].template;
                     let qid = cluster
                         .submit(instance, QuerySpec::new(t, data_gb, tenant))
+                        // The dedicated instance was provisioned above and
+                        // hosts the only tenant. lint: allow(panic)
                         .expect("instance is ready and hosts the tenant");
                     owner.insert(qid, ui);
                 }
             }
-            (_, Some(_)) => {
+            (_, Some(t)) => {
                 // Drain the next simulator event batch (query completions).
-                let t = cluster.peek_next_event_time().expect("checked");
                 let events = cluster.run_until(t);
                 record(
                     events,
                     &mut users,
+                    &mut wakeups,
                     &mut owner,
                     &mut queries,
                     &mut busy_raw,

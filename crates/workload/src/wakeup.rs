@@ -1,0 +1,98 @@
+//! An index-min-heap of pending user wake-ups.
+//!
+//! The session driver in [`crate::session`] interleaves two event sources:
+//! the simulated MPPDB's completion events and the autonomous users' next
+//! actions. The users' side used to be a linear `users.iter().min()` rescan
+//! on every loop iteration — `O(S)` per event, which at million-tenant
+//! corpus generation scale dominates the replay. [`WakeupHeap`] replaces
+//! the rescan with an `O(log S)` binary heap of `(instant, user index)`
+//! pairs.
+//!
+//! Entries are *lazily invalidated*: rescheduling a user simply pushes a
+//! new pair and leaves any old one behind; the consumer discards entries
+//! that no longer match the user's authoritative state at peek time. The
+//! heap orders by `(instant, user index)`, so the pop sequence is a pure
+//! function of the *set* of live entries — byte-identical no matter the
+//! insertion order (`tests/determinism.rs` pins this).
+
+use mppdb_sim::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of `(wake-up instant, user index)` pairs, earliest first,
+/// ties broken toward the lowest user index — exactly the order the old
+/// linear `min()` scan selected.
+#[derive(Clone, Debug, Default)]
+pub struct WakeupHeap {
+    heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+}
+
+impl WakeupHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        WakeupHeap::default()
+    }
+
+    /// Creates an empty heap with room for `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        WakeupHeap {
+            heap: BinaryHeap::with_capacity(n),
+        }
+    }
+
+    /// Schedules (or reschedules) a user's wake-up. A previous entry for
+    /// the same user is *not* removed — the consumer must treat entries
+    /// that disagree with its own per-user state as stale on pop.
+    pub fn push(&mut self, at: SimTime, user: usize) {
+        self.heap.push(Reverse((at, user)));
+    }
+
+    /// The earliest entry without removing it.
+    pub fn peek(&self) -> Option<(SimTime, usize)> {
+        self.heap.peek().map(|&Reverse(p)| p)
+    }
+
+    /// Removes and returns the earliest entry.
+    pub fn pop(&mut self) -> Option<(SimTime, usize)> {
+        self.heap.pop().map(|Reverse(p)| p)
+    }
+
+    /// Number of entries, counting stale ones.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_instant_then_user_index() {
+        let mut h = WakeupHeap::new();
+        h.push(SimTime::from_ms(30), 0);
+        h.push(SimTime::from_ms(10), 2);
+        h.push(SimTime::from_ms(10), 1);
+        h.push(SimTime::from_ms(20), 3);
+        let mut order = Vec::new();
+        while let Some((t, u)) = h.pop() {
+            order.push((t.as_ms(), u));
+        }
+        assert_eq!(order, vec![(10, 1), (10, 2), (20, 3), (30, 0)]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut h = WakeupHeap::with_capacity(2);
+        assert!(h.is_empty());
+        h.push(SimTime::from_ms(5), 7);
+        assert_eq!(h.peek(), Some((SimTime::from_ms(5), 7)));
+        assert_eq!(h.pop(), Some((SimTime::from_ms(5), 7)));
+        assert_eq!(h.len(), 0);
+    }
+}

@@ -35,7 +35,9 @@ impl ZipfSampler {
             cdf.push(acc);
         }
         // Guard against floating point: the last entry must cover u = 1.0.
-        *cdf.last_mut().expect("n > 0") = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         ZipfSampler { cdf }
     }
 

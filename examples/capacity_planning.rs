@@ -19,17 +19,17 @@ fn main() {
     let cfg = GenerationConfig::small(11, 300);
     let library = SessionLibrary::generate(&cfg);
     let composer = Composer::new(&cfg, &library);
-    let histories: Vec<(Tenant, Vec<(u64, u64)>)> = composer
+    let histories: Vec<TenantHistory> = composer
         .tenant_specs()
         .iter()
         .map(|s| {
-            (
+            TenantHistory::new(
                 Tenant::new(s.id, s.nodes, s.data_gb),
                 composer.busy_intervals(s),
             )
         })
         .collect();
-    let requested: u64 = histories.iter().map(|(t, _)| u64::from(t.nodes)).sum();
+    let requested: u64 = histories.iter().map(|h| u64::from(h.tenant.nodes)).sum();
     println!(
         "{} tenants requesting {} nodes in total; node budget {}\n",
         histories.len(),

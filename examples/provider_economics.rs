@@ -20,10 +20,10 @@ fn main() {
     let library = SessionLibrary::generate(&cfg);
     let composer = Composer::new(&cfg, &library);
     let specs = composer.tenant_specs();
-    let histories: Vec<(Tenant, Vec<(u64, u64)>)> = specs
+    let histories: Vec<TenantHistory> = specs
         .iter()
         .map(|s| {
-            (
+            TenantHistory::new(
                 Tenant::new(s.id, s.nodes, s.data_gb),
                 composer.busy_intervals(s),
             )
@@ -79,7 +79,7 @@ fn main() {
         "{:>7}  {:>5}  {:>11}  {:>8}  {:>12}  {:>8}  {:>9}",
         "tenant", "nodes", "active", "queries", "subscription", "usage", "total"
     );
-    for (tenant, _) in histories.iter().take(8) {
+    for tenant in histories.iter().map(|h| &h.tenant).take(8) {
         let inv = service
             .invoice(tenant.id, &tariff, BILLING_DAYS)
             .expect("deployed tenant");
@@ -95,7 +95,7 @@ fn main() {
         );
         invoices.push(inv);
     }
-    for (tenant, _) in histories.iter().skip(8) {
+    for tenant in histories.iter().map(|h| &h.tenant).skip(8) {
         invoices.push(
             service
                 .invoice(tenant.id, &tariff, BILLING_DAYS)

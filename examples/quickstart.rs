@@ -27,10 +27,10 @@ fn main() {
     );
 
     // 2. Ask the Deployment Advisor for a plan.
-    let histories: Vec<(Tenant, Vec<(u64, u64)>)> = specs
+    let histories: Vec<TenantHistory> = specs
         .iter()
         .map(|s| {
-            (
+            TenantHistory::new(
                 Tenant::new(s.id, s.nodes, s.data_gb),
                 composer.busy_intervals(s),
             )

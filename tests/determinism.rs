@@ -13,10 +13,10 @@ fn build_and_replay(seed: u64) -> (u64, usize, Vec<(u64, u64, bool)>) {
     let library = SessionLibrary::generate(&cfg);
     let composer = Composer::new(&cfg, &library);
     let specs = composer.tenant_specs();
-    let histories: Vec<(Tenant, Vec<(u64, u64)>)> = specs
+    let histories: Vec<TenantHistory> = specs
         .iter()
         .map(|s| {
-            (
+            TenantHistory::new(
                 Tenant::new(s.id, s.nodes, s.data_gb),
                 composer.busy_intervals(s),
             )
@@ -265,6 +265,97 @@ fn reconsolidation_cycle_is_byte_identical_across_thread_counts() {
         serial.contains("\"groups.cutover\""),
         "the compared run must exercise live cutovers"
     );
+}
+
+/// The session-replay loop schedules user wake-ups through a binary heap;
+/// heaps are famously *not* insertion-order-independent for equal keys, so
+/// the `(instant, user index)` key must totally order every entry. Pushing
+/// the same wake-up set in different permutations must pop identically —
+/// this is the invariant that lets `WakeupHeap` replace the old
+/// full-rescan `min()` without perturbing a single session's rng stream.
+#[test]
+fn wakeup_heap_pops_identically_for_any_insertion_order() {
+    use thrifty_workload::wakeup::WakeupHeap;
+
+    // Deliberately includes duplicate instants across distinct users.
+    let entries: Vec<(u64, usize)> = (0..200u64).map(|i| ((i * 37) % 50, i as usize)).collect();
+    let drain = |order: &[usize]| -> Vec<(u64, usize)> {
+        let mut heap = WakeupHeap::with_capacity(entries.len());
+        for &k in order {
+            let (t, u) = entries[k];
+            heap.push(mppdb_sim::time::SimTime::from_ms(t), u);
+        }
+        let mut out = Vec::new();
+        while let Some((t, u)) = heap.pop() {
+            out.push((t.as_ms(), u));
+        }
+        out
+    };
+    let forward: Vec<usize> = (0..entries.len()).collect();
+    // A deterministic shuffle: stride through the indices coprime to len.
+    let strided: Vec<usize> = (0..entries.len())
+        .map(|i| (i * 73) % entries.len())
+        .collect();
+    let reversed: Vec<usize> = forward.iter().rev().copied().collect();
+    let a = drain(&forward);
+    let b = drain(&strided);
+    let c = drain(&reversed);
+    assert_eq!(a, b, "strided insertion must pop identically");
+    assert_eq!(a, c, "reversed insertion must pop identically");
+    assert!(
+        a.windows(2).all(|w| w[0] <= w[1]),
+        "pops must come out in (instant, user) order"
+    );
+}
+
+/// Property test: the shard-parallel 2-step grouping equals the serial
+/// solver on seeded random problems, across replication factors, activity
+/// densities, and thread counts. The shards are the Step-1 size buckets,
+/// so equality here is what licenses `two_step_grouping_sharded` as a
+/// drop-in replacement inside the advisor-scale experiments.
+#[test]
+fn sharded_grouping_matches_serial_on_random_problems() {
+    use thrifty_bench::parallel;
+    use thrifty_bench::sharded::two_step_grouping_sharded;
+
+    // SplitMix64: the same deterministic generator the scale sweep uses.
+    let mut state = 0x5EED_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    };
+    for case in 0..8u32 {
+        const D: u32 = 48;
+        let tenants = 20 + (case as usize) * 15;
+        let sizes = [1u32, 2, 4, 8, 16];
+        let mut builder = GroupingProblem::builder();
+        for i in 0..tenants {
+            let nodes = sizes[(next() % sizes.len() as u64) as usize];
+            let density = 1 + next() % 6; // 1/12 .. 6/12 of epochs busy
+            let epochs: Vec<u32> = (0..D).filter(|_| next() % 12 < density).collect();
+            builder = builder.tenant(
+                Tenant::new(TenantId(i as u32), nodes, 100.0 * f64::from(nodes)),
+                ActivityVector::from_epochs(epochs, D),
+            );
+        }
+        let problem = builder
+            .replication(1 + case % 3)
+            .sla_p(0.99)
+            .build()
+            .expect("random problems are consistent");
+        let config = TwoStepConfig::default();
+        let serial = two_step_grouping_with(&problem, config);
+        parallel::set_thread_override(Some(4));
+        let sharded = two_step_grouping_sharded(&problem, config);
+        parallel::set_thread_override(None);
+        assert_eq!(
+            serial, sharded,
+            "case {case}: sharded grouping must equal the serial solver"
+        );
+    }
 }
 
 /// Deploys the 2-step plan for `corpus` with telemetry fully enabled,

@@ -12,13 +12,13 @@ fn corpus(seed: u64, tenants: usize) -> (GenerationConfig, SessionLibrary) {
     (cfg, library)
 }
 
-fn histories(cfg: &GenerationConfig, library: &SessionLibrary) -> Vec<(Tenant, Vec<(u64, u64)>)> {
+fn histories(cfg: &GenerationConfig, library: &SessionLibrary) -> Vec<TenantHistory> {
     let composer = Composer::new(cfg, library);
     composer
         .tenant_specs()
         .iter()
         .map(|s| {
-            (
+            TenantHistory::new(
                 Tenant::new(s.id, s.nodes, s.data_gb),
                 composer.busy_intervals(s),
             )
@@ -113,7 +113,7 @@ fn pipeline_is_deterministic_from_the_seed() {
 fn different_seeds_give_different_corpora_but_same_regime() {
     let eff = |seed: u64| {
         let (cfg, library) = corpus(seed, 120);
-        let advice = advisor(&cfg).advise(&histories(&cfg, &library));
+        let advice = advisor(&cfg).advise(histories(&cfg, &library));
         advice.report.effectiveness
     };
     let (a, b) = (eff(1), eff(2));
@@ -129,9 +129,9 @@ fn excluded_tenants_do_not_enter_the_plan() {
     let (cfg, library) = corpus(5, 30);
     let mut histories = histories(&cfg, &library);
     // Make one tenant always active: it must be excluded.
-    histories[0].1 = vec![(0, cfg.horizon_ms())];
+    histories[0].intervals = vec![(0, cfg.horizon_ms())];
     let advice = advisor(&cfg).advise(&histories);
     assert_eq!(advice.excluded.len(), 1);
-    assert_eq!(advice.excluded[0].id, histories[0].0.id);
+    assert_eq!(advice.excluded[0].id, histories[0].tenant.id);
     assert_eq!(advice.plan.tenant_count(), 29);
 }

@@ -180,8 +180,8 @@ fn burst_exclusion_removes_periodic_tenants_from_the_plan() {
     }
     bursty.sort_unstable();
     let histories = vec![
-        (Tenant::new(TenantId(0), 4, 400.0), steady),
-        (Tenant::new(TenantId(1), 4, 400.0), bursty),
+        TenantHistory::new(Tenant::new(TenantId(0), 4, 400.0), steady),
+        TenantHistory::new(Tenant::new(TenantId(1), 4, 400.0), bursty),
     ];
     let advise_with = |detector: Option<BurstDetector>| {
         DeploymentAdvisor::new(AdvisorConfig {

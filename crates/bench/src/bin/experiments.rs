@@ -10,7 +10,7 @@ usage: experiments [--full] [--seed N] [--json] <id>... | all | list
 
 ids: fig1.1a fig1.1b fig1.1c tab5.1 fig5.3 tab7.1
      fig7.1 fig7.2 fig7.3 fig7.4 fig7.5 fig7.6 fig7.7
-     drift scale headline ablate
+     drift controller scale headline ablate
 
 --full    run at the paper's scale (T = 5000, 30-day logs, 100 trials;
           scale: the 10k/100k/1M tenant sweep)

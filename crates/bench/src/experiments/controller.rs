@@ -1,0 +1,366 @@
+//! Controller experiment — fixed-period vs feedback re-consolidation
+//! across the adversarial scenario library.
+//!
+//! Every scenario of `thrifty_workload::scenarios` is replayed twice on
+//! the same day-one deployment: once with the historical fixed-period
+//! [`Reconsolidator`] and once with the Tempo-style feedback controller
+//! (adaptive period and observation window, build cap, move hysteresis).
+//! The arms are compared on SLA attainment, powered-node cost, and churn
+//! (tenants moved by cutovers), with the controller's skip attribution
+//! alongside. The planner-thrashing scenario is the acceptance gate: the
+//! feedback controller must match the fixed arm's SLA with measurably
+//! fewer tenant moves.
+
+use crate::report::{num, pct, ExperimentResult, Table};
+use mppdb_sim::query::QueryTemplate;
+use mppdb_sim::time::SimTime;
+use thrifty::prelude::*;
+use thrifty_workload::prelude::*;
+
+/// Sampling step for the powered-node trajectory (also the cadence of
+/// `maybe_cycle` probes — finer than the shortest adapted period).
+const SAMPLE_MS: u64 = 15 * 60_000;
+/// Fixed-arm cycle period and the feedback arm's initial period.
+const CYCLE_MS: u64 = 2 * 3_600_000;
+/// The service's monitoring window (the fixed arm's lookback and the
+/// ceiling of the feedback arm's adaptive window).
+const WINDOW_MS: u64 = 8 * 3_600_000;
+/// Replication factor of the day-one design and all cycle plans.
+const REPLICATION: u32 = 2;
+/// Workload generation seed.
+const SEED: u64 = 42;
+
+/// The feedback arm's controller knobs.
+pub fn feedback_config() -> ControllerConfig {
+    ControllerConfig {
+        initial_interval_ms: CYCLE_MS,
+        min_interval_ms: 30 * 60_000,
+        max_interval_ms: WINDOW_MS,
+        initial_window_ms: 2 * 3_600_000,
+        // The floor must cover the slot pattern's full period (stride *
+        // slot = 2h): a shorter window shows whole cohorts as idle and the
+        // advisor packs the "idle" tenants together — the correlated
+        // scenario flushes exactly that bug.
+        min_window_ms: 2 * 3_600_000,
+        max_window_ms: WINDOW_MS,
+        error_high: 0.02,
+        error_low: 0.005,
+        max_builds_per_cycle: 2,
+        hysteresis_cycles: 2,
+        force_after: 4,
+    }
+}
+
+fn advisor_config(horizon_ms: u64) -> AdvisorConfig {
+    AdvisorConfig {
+        replication: REPLICATION,
+        sla_p: 0.999,
+        epoch: EpochConfig::new(10_000, horizon_ms),
+        algorithm: GroupingAlgorithm::TwoStep,
+        exclusion: ExclusionPolicy::default(),
+    }
+}
+
+/// The day-one deployment plan: the advisor run over the scenario's
+/// steady-belief histories.
+pub fn day_one_plan(scenario: &AdversarialScenario) -> DeploymentPlan {
+    let histories: Vec<TenantHistory> = scenario
+        .tenants
+        .iter()
+        .map(|s| {
+            let (_, iv) = scenario
+                .design_histories
+                .iter()
+                .find(|(id, _)| *id == s.id)
+                .expect("every tenant has a design history");
+            TenantHistory::new(Tenant::new(s.id, s.nodes, s.data_gb), iv.clone())
+        })
+        .collect();
+    let advisor = DeploymentAdvisor::new(advisor_config(scenario.config.horizon_ms));
+    advisor.advise(&histories).plan
+}
+
+/// Outcome of one (scenario, controller) arm.
+pub struct ControllerRun {
+    /// The service report (SLA records + telemetry).
+    pub report: ServiceReport,
+    /// `(log ms, powered nodes)` samples over the horizon.
+    pub nodes: Vec<(u64, usize)>,
+    /// Re-consolidation cycles completed.
+    pub cycles: u64,
+    /// Tenants moved by cutovers (the churn metric).
+    pub moves: u64,
+    /// The driver's per-cause skip counters.
+    pub skips: SkipCounts,
+    /// Due-instant evaluations the driver performed.
+    pub evaluations: u64,
+    /// The (possibly adapted) period at the end of the run.
+    pub final_interval_ms: u64,
+}
+
+impl ControllerRun {
+    /// SLA attainment over the whole run.
+    pub fn attainment(&self) -> f64 {
+        let total = self.report.records.len();
+        if total == 0 {
+            return 1.0;
+        }
+        self.report.records.iter().filter(|r| r.met).count() as f64 / total as f64
+    }
+
+    /// Mean powered nodes across all samples.
+    pub fn mean_nodes(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|&(_, n)| n).sum::<usize>() as f64 / self.nodes.len() as f64
+    }
+}
+
+/// Replays one scenario on one controller arm.
+pub fn run_arm(
+    scenario: &AdversarialScenario,
+    plan: &DeploymentPlan,
+    feedback: bool,
+) -> ControllerRun {
+    let cfg = &scenario.config;
+    // Headroom: enough free nodes to double-run a full rebuild next to
+    // the serving deployment, with slack for thrash-shaped regroupings.
+    let total_nodes = plan.nodes_used() as usize * 3;
+    let template = QueryTemplate::new(SCENARIO_TEMPLATE, cfg.query_coef, 0.0);
+    let service_cfg = ServiceConfig::builder()
+        .sla_p(0.999)
+        .elastic_scaling(false)
+        .monitor_window_ms(WINDOW_MS)
+        .telemetry(TelemetryConfig::default().with_event_capacity(5_000))
+        .build()
+        .expect("valid service config");
+    let mut service = ThriftyService::deploy(plan, total_nodes, [template], service_cfg)
+        .expect("deployable day-one design");
+    let mut recon = if feedback {
+        Reconsolidator::with_controller(advisor_config(WINDOW_MS), feedback_config())
+    } else {
+        Reconsolidator::new(advisor_config(WINDOW_MS), CYCLE_MS)
+    };
+
+    let mut nodes = Vec::new();
+    let mut next_sample = 0u64;
+    let mut drive_to = |service: &mut ThriftyService,
+                        recon: &mut Reconsolidator,
+                        nodes: &mut Vec<(u64, usize)>,
+                        target_ms: u64| {
+        while next_sample <= target_ms {
+            service
+                .advance_log_time(SimTime::from_ms(next_sample))
+                .expect("advance to sample");
+            recon.maybe_cycle(service).expect("cycle check");
+            nodes.push((next_sample, service.cluster().powered_nodes()));
+            next_sample += SAMPLE_MS;
+        }
+    };
+    for q in &scenario.queries {
+        drive_to(&mut service, &mut recon, &mut nodes, q.submit.as_ms());
+        service
+            .submit(IncomingQuery {
+                tenant: q.tenant,
+                submit: q.submit,
+                template: q.template,
+                baseline: q.baseline,
+            })
+            .expect("query submits");
+    }
+    drive_to(&mut service, &mut recon, &mut nodes, cfg.horizon_ms);
+    service.drain().expect("final drain");
+    nodes.push((cfg.horizon_ms, service.cluster().powered_nodes()));
+    let cycles = service.reconsolidation_cycles();
+    let report = service.report();
+    let moves = report
+        .telemetry
+        .counters
+        .get("reconsolidation.tenants_moved")
+        .copied()
+        .unwrap_or(0);
+    ControllerRun {
+        report,
+        nodes,
+        cycles,
+        moves,
+        skips: recon.skip_counts(),
+        evaluations: recon.evaluations(),
+        final_interval_ms: recon.interval_ms(),
+    }
+}
+
+/// Replays one scenario kind on both arms.
+pub fn run_scenario(kind: ScenarioKind, feedback: bool) -> ControllerRun {
+    let scenario = AdversarialScenario::generate(&ScenarioConfig::small(kind, SEED));
+    let plan = day_one_plan(&scenario);
+    run_arm(&scenario, &plan, feedback)
+}
+
+/// Runs the controller experiment end to end: every scenario kind, both
+/// arms, in parallel.
+pub fn controller() -> ExperimentResult {
+    let arms: Vec<(ScenarioKind, bool)> = ScenarioKind::ALL
+        .iter()
+        .flat_map(|&k| [(k, false), (k, true)])
+        .collect();
+    let runs = crate::parallel::par_map("controller:arms", &arms, |&(kind, feedback)| {
+        run_scenario(kind, feedback)
+    });
+
+    let mut summary = Table::new(
+        "Fixed-period vs feedback re-consolidation per adversarial scenario",
+        &[
+            "scenario",
+            "SLA fixed",
+            "SLA feedback",
+            "nodes fixed",
+            "nodes feedback",
+            "moves fixed",
+            "moves feedback",
+            "cycles fixed",
+            "cycles feedback",
+        ],
+    );
+    let mut attribution = Table::new(
+        "Feedback-controller decision attribution per scenario",
+        &[
+            "scenario",
+            "evaluations",
+            "planned",
+            "skip busy",
+            "skip noop",
+            "skip nodes",
+            "skip deferred",
+            "final period (min)",
+        ],
+    );
+    let mut telemetry = None;
+    for (i, kind) in ScenarioKind::ALL.iter().enumerate() {
+        let fixed = &runs[2 * i];
+        let fb = &runs[2 * i + 1];
+        summary.push_row(vec![
+            kind.name().into(),
+            pct(fixed.attainment()),
+            pct(fb.attainment()),
+            num(fixed.mean_nodes(), 1),
+            num(fb.mean_nodes(), 1),
+            fixed.moves.to_string(),
+            fb.moves.to_string(),
+            fixed.cycles.to_string(),
+            fb.cycles.to_string(),
+        ]);
+        let planned = fb.evaluations - fb.skips.total();
+        attribution.push_row(vec![
+            kind.name().into(),
+            fb.evaluations.to_string(),
+            planned.to_string(),
+            fb.skips.busy.to_string(),
+            fb.skips.noop.to_string(),
+            fb.skips.insufficient_nodes.to_string(),
+            fb.skips.deferred.to_string(),
+            num(fb.final_interval_ms as f64 / 60_000.0, 0),
+        ]);
+        if *kind == ScenarioKind::PlannerThrash {
+            telemetry = Some(fb.report.telemetry.clone());
+        }
+    }
+
+    ExperimentResult {
+        id: "controller".into(),
+        context: format!(
+            "{} scenarios × 2 arms; fixed cycle {}h, feedback period in \
+             [0.5h, {}h] with 2-cycle hysteresis and a {}-build cap; churn \
+             = tenants moved by cutovers",
+            ScenarioKind::ALL.len(),
+            CYCLE_MS / 3_600_000,
+            WINDOW_MS / 3_600_000,
+            feedback_config().max_builds_per_cycle,
+        ),
+        tables: vec![summary, attribution],
+        timings: Vec::new(),
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thrash_feedback_matches_sla_with_less_churn() {
+        // The acceptance gate: on the planner-thrashing adversary the
+        // feedback controller keeps SLA attainment at least as high as
+        // the fixed-period controller while moving measurably fewer
+        // tenants.
+        let fixed = run_scenario(ScenarioKind::PlannerThrash, false);
+        let fb = run_scenario(ScenarioKind::PlannerThrash, true);
+        assert!(
+            fixed.moves > 0,
+            "the thrash scenario must actually churn the fixed arm"
+        );
+        assert!(
+            fb.moves * 2 <= fixed.moves,
+            "feedback churn must be measurably lower: {} vs {}",
+            fb.moves,
+            fixed.moves
+        );
+        assert!(
+            fb.attainment() >= fixed.attainment(),
+            "feedback SLA must not regress: {} vs {}",
+            fb.attainment(),
+            fixed.attainment()
+        );
+    }
+
+    #[test]
+    fn steady_workload_converges_to_zero_moves() {
+        // On a workload where the day-one belief holds, the feedback
+        // controller must settle: after an initial alignment phase (N =
+        // 4 evaluations) no tenant moves again, and the period backs off
+        // from its initial value.
+        let scenario =
+            AdversarialScenario::generate(&ScenarioConfig::small(ScenarioKind::Steady, SEED));
+        let plan = day_one_plan(&scenario);
+        let run = run_arm(&scenario, &plan, true);
+        let settle_ms = 4 * CYCLE_MS;
+        let late_moves: u64 = run
+            .report
+            .telemetry
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                TelemetryEvent::GroupCutover { at_ms, tenants, .. } if at_ms >= settle_ms => {
+                    Some(tenants as u64)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(
+            late_moves, 0,
+            "a stable workload must converge to zero moves"
+        );
+        assert!(
+            run.final_interval_ms > CYCLE_MS,
+            "no-op cycles must lengthen the period toward its ceiling"
+        );
+    }
+
+    #[test]
+    fn every_scenario_completes_all_queries_on_both_arms() {
+        for kind in [ScenarioKind::FlashCrowd, ScenarioKind::BlackFriday] {
+            let scenario = AdversarialScenario::generate(&ScenarioConfig::small(kind, SEED));
+            let plan = day_one_plan(&scenario);
+            for feedback in [false, true] {
+                let run = run_arm(&scenario, &plan, feedback);
+                assert_eq!(
+                    run.report.records.len(),
+                    scenario.queries.len(),
+                    "{} feedback={feedback}: no query may be lost",
+                    kind.name()
+                );
+            }
+        }
+    }
+}

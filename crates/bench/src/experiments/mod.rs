@@ -2,6 +2,7 @@
 //! the experiment index.
 
 pub mod ablate;
+pub mod controller;
 pub mod drift;
 pub mod fig1_1;
 pub mod fig5_3;
@@ -17,9 +18,23 @@ use crate::pipeline::Harness;
 use crate::report::ExperimentResult;
 
 /// Every experiment id, in presentation order.
-pub const ALL_IDS: [&str; 15] = [
-    "fig1.1a", "fig1.1b", "fig1.1c", "tab5.1", "fig5.3", "tab7.1", "fig7.1", "fig7.2", "fig7.3",
-    "fig7.4", "fig7.5", "fig7.6", "fig7.7", "drift", "scale",
+pub const ALL_IDS: [&str; 16] = [
+    "fig1.1a",
+    "fig1.1b",
+    "fig1.1c",
+    "tab5.1",
+    "fig5.3",
+    "tab7.1",
+    "fig7.1",
+    "fig7.2",
+    "fig7.3",
+    "fig7.4",
+    "fig7.5",
+    "fig7.6",
+    "fig7.7",
+    "drift",
+    "controller",
+    "scale",
 ];
 
 /// Experiments that need the generated corpus (and therefore a harness).
@@ -49,6 +64,7 @@ pub fn run(id: &str, harness: &Harness) -> Option<ExperimentResult> {
         "fig7.6" => fig7_6::fig_7_6(harness),
         "fig7.7" => fig7_7::fig_7_7(harness),
         "drift" => drift::drift(),
+        "controller" => controller::controller(),
         "scale" => scale::scale(harness.scale(), harness.base_config().seed),
         "headline" => headline::headline(harness),
         "ablate" => ablate::ablate(harness),

@@ -5,8 +5,9 @@
 //! check produces wrong latencies, not crashes. This module drives seeded
 //! randomized schedules of submits, node failures, decommissions, and
 //! scale-outs against the simulator ([`fuzz_cluster`]) and the full
-//! service loop ([`fuzz_service`]), and the tenant-lifecycle /
-//! re-consolidation engine ([`fuzz_lifecycle`]), checking cluster-wide
+//! service loop ([`fuzz_service`]), the tenant-lifecycle /
+//! re-consolidation engine ([`fuzz_lifecycle`]), and the feedback-
+//! controlled cadence ([`fuzz_controller`]), checking cluster-wide
 //! invariants after every event batch:
 //!
 //! * **query conservation** — submitted = completed + cancelled + running,
@@ -807,9 +808,283 @@ fn check_lifecycle_quiescence(
     Ok(())
 }
 
-/// Runs `fuzz_cluster`, `fuzz_service`, and `fuzz_lifecycle` for every
-/// seed in `start..start + count`, returning the failure messages (empty
-/// = pass).
+/// Deterministic digest of one feedback-controller fuzz schedule.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ControllerFuzzOutcome {
+    /// The schedule seed.
+    pub seed: u64,
+    /// Actions executed.
+    pub steps: u32,
+    /// Due instants the controller evaluated.
+    pub evaluations: u64,
+    /// Cycles actually started.
+    pub cycles: u64,
+    /// Period/window adaptations applied.
+    pub adaptations: u64,
+    /// Queries submitted.
+    pub submitted: u64,
+    /// The final service report, serialized.
+    pub report_json: String,
+}
+
+/// Runs one seeded randomized schedule against the feedback-controlled
+/// [`Reconsolidator`] (random cadence/window bounds, build cap, and
+/// hysteresis) and checks the controller invariants after every probe:
+///
+/// * **cadence bounds** — the adapted period and window never leave their
+///   configured `[min, max]` ranges;
+/// * **due-grid discipline** — the next due instant is always in the
+///   future, never steps backwards, and every advance is a whole multiple
+///   of the period in force at the evaluation (a late probe catches up
+///   along the grid instead of re-anchoring or bunching);
+/// * **decision accounting** — evaluations = cycles planned + skips across
+///   all causes, and the per-cause skip / deferral / adaptation counters
+///   reconcile exactly with the service's telemetry;
+/// * **routability** — the lifecycle invariants of [`fuzz_lifecycle`] keep
+///   holding while the controller moves tenants around.
+pub fn fuzz_controller(seed: u64) -> Result<ControllerFuzzOutcome, String> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBB67_AE85_84CA_A73B);
+    let template = QueryTemplate::new(TemplateId(3), 150.0, 0.0);
+    let a = rng.gen_range(1u32..3);
+    let members = |base: u32| -> Vec<Tenant> {
+        (base..base + 2)
+            .map(|i| Tenant::new(TenantId(i), 2, 100.0 + f64::from(i) * 25.0))
+            .collect()
+    };
+    let plan = DeploymentPlan {
+        groups: vec![
+            TenantGroupPlan::new(members(0), a, 2),
+            TenantGroupPlan::new(members(2), a, 2),
+        ],
+    };
+    let mut service = ThriftyService::deploy(
+        &plan,
+        rng.gen_range(16usize..30),
+        [template],
+        ServiceConfig::builder()
+            .elastic_scaling(false)
+            .monitor_window_ms(4 * 3_600_000)
+            .telemetry(TelemetryConfig::default().with_event_capacity(20_000))
+            .build()
+            .map_err(|e| format!("seed {seed}: config: {e}"))?,
+    )
+    .map_err(|e| format!("seed {seed}: deploy failed: {e}"))?;
+
+    let min_interval = rng.gen_range(5u64..30) * 60_000;
+    let max_interval = min_interval * rng.gen_range(2u64..8);
+    let min_window = rng.gen_range(30u64..120) * 60_000;
+    let mut recon = Reconsolidator::with_controller(
+        AdvisorConfig {
+            replication: a,
+            sla_p: 0.999,
+            epoch: EpochConfig::new(10_000, 4 * 3_600_000),
+            algorithm: GroupingAlgorithm::TwoStep,
+            exclusion: ExclusionPolicy::default(),
+        },
+        ControllerConfig {
+            initial_interval_ms: rng.gen_range(min_interval..=max_interval),
+            min_interval_ms: min_interval,
+            max_interval_ms: max_interval,
+            initial_window_ms: min_window,
+            min_window_ms: min_window,
+            max_window_ms: min_window * rng.gen_range(2u64..6),
+            error_high: 0.02,
+            error_low: 0.005,
+            max_builds_per_cycle: rng.gen_range(1usize..4),
+            hysteresis_cycles: rng.gen_range(0u32..4),
+            force_after: rng.gen_range(0u32..6),
+        },
+    );
+
+    let mut next_tenant = 200u32;
+    let mut registered = 0u64;
+    let mut submitted = 0u64;
+    let mut floors: Vec<usize> = Vec::new();
+    let steps = 80u32;
+    for step in 0..steps {
+        let roll: u32 = rng.gen_range(0u32..100);
+        if roll < 40 {
+            // Let time pass, crossing due instants — sometimes by several
+            // periods at once so the grid catch-up path stays under fuzz.
+            let dt = rng.gen_range(5u64..40) * 60_000 * u64::from(1 + (roll % 3));
+            let target = SimTime::from_ms(service.log_now().as_ms() + dt);
+            service
+                .run_until_quiescent_at(target)
+                .map_err(|e| format!("seed {seed} step {step}: quiesce: {e}"))?;
+        } else if roll < 70 {
+            // Submit a query for a random live tenant.
+            let live = service.live_tenants();
+            if let Some(&tenant) = pick(&mut rng, &live) {
+                let data_gb = rng.gen_range(50.0..300.0);
+                let baseline = SimDuration::from_ms_f64(mppdb_sim::cost::isolated_latency_ms(
+                    &template, data_gb, 2,
+                ));
+                service
+                    .submit(IncomingQuery {
+                        tenant,
+                        submit: service.log_now(),
+                        template: template.id,
+                        baseline,
+                    })
+                    .map_err(|e| format!("seed {seed} step {step}: submit: {e}"))?;
+                submitted += 1;
+            }
+        } else if roll < 80 {
+            // Register a fresh tenant: its placement is a mandatory
+            // component the churn bounds must never defer.
+            let t = Tenant::new(TenantId(next_tenant), 2, rng.gen_range(20.0..200.0));
+            next_tenant += 1;
+            service
+                .register_tenant(t)
+                .map_err(|e| format!("seed {seed} step {step}: register: {e}"))?;
+            registered += 1;
+        } else {
+            // Probe the controller, then check the cadence invariants.
+            let now_ms = service.log_now().as_ms();
+            let due_before = recon.next_due_ms();
+            let interval_before = recon.interval_ms();
+            let evals_before = recon.evaluations();
+            let started = recon
+                .maybe_cycle(&mut service)
+                .map_err(|e| format!("seed {seed} step {step}: maybe_cycle: {e}"))?;
+            if started && !service.reconsolidation_active() {
+                return Err(format!(
+                    "seed {seed} step {step}: cycle reported started but nothing executes"
+                ));
+            }
+            check_controller_invariants(
+                &recon,
+                seed,
+                step,
+                now_ms,
+                due_before,
+                interval_before,
+                evals_before,
+            )?;
+        }
+        check_lifecycle_invariants(&service, &mut floors, seed, step)?;
+    }
+
+    service
+        .drain()
+        .map_err(|e| format!("seed {seed}: final drain: {e}"))?;
+    check_lifecycle_invariants(&service, &mut floors, seed, steps)?;
+    let report = service.report();
+    let t = &report.telemetry;
+    let skips = recon.skip_counts();
+    let counter_pairs: [(&str, u64); 6] = [
+        ("controller.skipped_busy", skips.busy),
+        ("controller.skipped_noop", skips.noop),
+        ("controller.skipped_nodes", skips.insufficient_nodes),
+        ("controller.skipped_deferred", skips.deferred),
+        ("controller.moves_deferred", recon.moves_deferred()),
+        ("controller.builds_capped", recon.builds_capped()),
+    ];
+    for (name, driver) in counter_pairs {
+        if t.counter(name) != driver {
+            return Err(format!(
+                "seed {seed}: counter {name} = {} but the driver holds {driver}",
+                t.counter(name)
+            ));
+        }
+    }
+    if t.counter("controller.adapt_shrink") + t.counter("controller.adapt_grow")
+        != recon.adaptations()
+    {
+        return Err(format!(
+            "seed {seed}: adaptation counters do not add up to {}",
+            recon.adaptations()
+        ));
+    }
+    if registered > 0 && t.counter("tenants.registered") != registered {
+        return Err(format!(
+            "seed {seed}: counter tenants.registered = {} but the driver registered \
+             {registered}",
+            t.counter("tenants.registered")
+        ));
+    }
+    let report_json = serde_json::to_string(&report)
+        .map_err(|e| format!("seed {seed}: report serialization failed: {e}"))?;
+    Ok(ControllerFuzzOutcome {
+        seed,
+        steps,
+        evaluations: recon.evaluations(),
+        cycles: recon.cycles_planned(),
+        adaptations: recon.adaptations(),
+        submitted,
+        report_json,
+    })
+}
+
+/// Cadence and accounting invariants after one `maybe_cycle` probe.
+fn check_controller_invariants(
+    recon: &Reconsolidator,
+    seed: u64,
+    step: u32,
+    now_ms: u64,
+    due_before: u64,
+    interval_before: u64,
+    evals_before: u64,
+) -> Result<(), String> {
+    let c = recon.controller();
+    if !(c.min_interval_ms..=c.max_interval_ms).contains(&recon.interval_ms()) {
+        return Err(format!(
+            "seed {seed} step {step}: period {} left [{}, {}]",
+            recon.interval_ms(),
+            c.min_interval_ms,
+            c.max_interval_ms
+        ));
+    }
+    if !(c.min_window_ms..=c.max_window_ms).contains(&recon.window_ms()) {
+        return Err(format!(
+            "seed {seed} step {step}: window {} left [{}, {}]",
+            recon.window_ms(),
+            c.min_window_ms,
+            c.max_window_ms
+        ));
+    }
+    let due_after = recon.next_due_ms();
+    if due_after <= now_ms {
+        return Err(format!(
+            "seed {seed} step {step}: next due {due_after} ms not in the future of \
+             {now_ms} ms"
+        ));
+    }
+    if due_after < due_before {
+        return Err(format!(
+            "seed {seed} step {step}: next due stepped backwards ({due_after} ms \
+             after {due_before} ms)"
+        ));
+    }
+    let evaluated = recon.evaluations() > evals_before;
+    if evaluated {
+        let advance = due_after - due_before;
+        if advance == 0 || !advance.is_multiple_of(interval_before) {
+            return Err(format!(
+                "seed {seed} step {step}: due advance {advance} ms is not a whole \
+                 multiple of the period {interval_before} ms (re-anchor or bunching)"
+            ));
+        }
+    } else if due_after != due_before {
+        return Err(format!(
+            "seed {seed} step {step}: idle probe moved the due instant \
+             ({due_before} -> {due_after} ms)"
+        ));
+    }
+    if recon.evaluations() != recon.cycles_planned() + recon.skip_counts().total() {
+        return Err(format!(
+            "seed {seed} step {step}: {} evaluations != {} planned + {} skipped",
+            recon.evaluations(),
+            recon.cycles_planned(),
+            recon.skip_counts().total()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs `fuzz_cluster`, `fuzz_service`, `fuzz_lifecycle`, and
+/// `fuzz_controller` for every seed in `start..start + count`, returning
+/// the failure messages (empty = pass).
 pub fn run_seed_range(start: u64, count: u64) -> Vec<String> {
     let seeds: Vec<u64> = (start..start + count).collect();
     let results = crate::parallel::par_map("fuzz:seeds", &seeds, |&seed| {
@@ -822,6 +1097,9 @@ pub fn run_seed_range(start: u64, count: u64) -> Vec<String> {
         }
         if let Err(e) = fuzz_lifecycle(seed) {
             errors.push(format!("lifecycle fuzz: {e}"));
+        }
+        if let Err(e) = fuzz_controller(seed) {
+            errors.push(format!("controller fuzz: {e}"));
         }
         errors
     });
@@ -859,6 +1137,24 @@ mod tests {
         let b = fuzz_lifecycle(11).unwrap();
         assert_eq!(a, b);
         assert!(a.submitted > 0, "the schedule must exercise submissions");
+    }
+
+    #[test]
+    fn controller_fuzz_is_deterministic_per_seed() {
+        let a = fuzz_controller(5).unwrap();
+        let b = fuzz_controller(5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn controller_fuzz_exercises_the_cadence() {
+        // Across a handful of seeds the schedule must actually cross due
+        // instants and submit load; a schedule that never evaluates would
+        // not test the controller.
+        let outcomes: Vec<ControllerFuzzOutcome> =
+            (0..6).map(|s| fuzz_controller(s).unwrap()).collect();
+        assert!(outcomes.iter().any(|o| o.evaluations > 0));
+        assert!(outcomes.iter().any(|o| o.submitted > 0));
     }
 
     #[test]

@@ -104,7 +104,9 @@ pub mod prelude {
     pub use crate::master::{Deployment, DeploymentMaster};
     pub use crate::metrics::ConsolidationReport;
     pub use crate::monitor::GroupActivityMonitor;
-    pub use crate::reconsolidation::{CyclePlan, PlannedGroup, Reconsolidator};
+    pub use crate::reconsolidation::{
+        BoundedPlan, ControllerConfig, CyclePlan, PlannedGroup, Reconsolidator, SkipCounts,
+    };
     pub use crate::routing::{QueryRouter, Route, RouteKind};
     pub use crate::scaling::{identify_over_active, ScalingEvent};
     pub use crate::service::{

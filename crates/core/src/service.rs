@@ -445,7 +445,16 @@ impl ThriftyService {
                 "bulk_loads.finished",
                 "reconsolidation.started",
                 "reconsolidation.completed",
+                "reconsolidation.tenants_moved",
                 "groups.cutover",
+                "controller.skipped_busy",
+                "controller.skipped_noop",
+                "controller.skipped_nodes",
+                "controller.skipped_deferred",
+                "controller.adapt_shrink",
+                "controller.adapt_grow",
+                "controller.moves_deferred",
+                "controller.builds_capped",
             ] {
                 telemetry.incr_by(name, 0);
             }
@@ -1880,6 +1889,8 @@ impl ThriftyService {
         if self.telemetry.is_enabled() {
             let at_ms = self.log_ms(now_ms);
             self.telemetry.incr("groups.cutover");
+            self.telemetry
+                .incr_by("reconsolidation.tenants_moved", members.len() as u64);
             self.telemetry.record(TelemetryEvent::GroupCutover {
                 at_ms,
                 group: new_gi,
@@ -2000,9 +2011,19 @@ impl ThriftyService {
     /// Every live tenant appears (idle ones with no intervals); the second
     /// element is the window length in ms (the advisor's horizon).
     pub fn observed_activity_intervals(&self) -> (Vec<ObservedHistory>, u64) {
+        self.observed_activity_intervals_in(self.config.monitor_window_ms)
+    }
+
+    /// [`ThriftyService::observed_activity_intervals`] over an explicit
+    /// lookback. The effective window is clamped to the configured
+    /// monitoring window (older activity has been discarded, so a longer
+    /// request would report phantom idleness) and to the service uptime
+    /// (a young service must not plan from a partially-empty horizon that
+    /// biases every tenant toward looking idle).
+    pub fn observed_activity_intervals_in(&self, window_ms: u64) -> (Vec<ObservedHistory>, u64) {
         let now = self.cluster.now().as_ms();
         let start = now
-            .saturating_sub(self.config.monitor_window_ms)
+            .saturating_sub(window_ms.min(self.config.monitor_window_ms).max(1))
             .max(self.offset_ms);
         let horizon = now.saturating_sub(start).max(1);
         let mut per_tenant: BTreeMap<TenantId, Vec<(u64, u64)>> =
@@ -2035,6 +2056,40 @@ impl ThriftyService {
             .map(|(t, iv)| TenantHistory::new(self.tenant_info[&t], iv))
             .collect();
         (activity, horizon)
+    }
+
+    /// The observed RT-TTP of a live (non-retired) group at the current
+    /// instant — the fraction of the monitoring window during which at
+    /// most `R` of its tenants were concurrently active. `None` for
+    /// retired or unknown group indices.
+    pub fn group_rt_ttp(&self, gi: usize) -> Option<f64> {
+        let g = self.groups.get(gi)?;
+        if g.retired {
+            return None;
+        }
+        Some(g.monitor.rt_ttp(self.cluster.now().as_ms()))
+    }
+
+    /// Bumps a controller-decision counter (crate-internal: the
+    /// [`Reconsolidator`](crate::reconsolidation::Reconsolidator) has no
+    /// telemetry of its own, so its decisions land in the service's).
+    pub(crate) fn note_controller(&mut self, counter: &'static str, by: u64) {
+        if self.telemetry.is_enabled() && by > 0 {
+            self.telemetry.incr_by(counter, by);
+        }
+    }
+
+    /// Records a controller cadence adaptation (crate-internal).
+    pub(crate) fn note_controller_adapted(&mut self, interval_ms: u64, window_ms: u64, error: f64) {
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_now().as_ms();
+            self.telemetry.record(TelemetryEvent::ControllerAdapted {
+                at_ms,
+                interval_ms,
+                window_ms,
+                error_ppm: (error.clamp(0.0, 1.0) * 1_000_000.0) as u64,
+            });
+        }
     }
 
     /// Whether a re-consolidation cycle is currently executing.

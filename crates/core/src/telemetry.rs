@@ -501,6 +501,19 @@ pub enum TelemetryEvent {
         /// Replica count (the plan's `A`) of the new group.
         replicas: usize,
     },
+    /// The re-consolidation feedback controller adapted its cadence from
+    /// the measured RT-TTP prediction error.
+    ControllerAdapted {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// Cycle period after the adaptation.
+        interval_ms: u64,
+        /// Observation window after the adaptation (`0` = the service's
+        /// full monitoring window).
+        window_ms: u64,
+        /// The error that drove the adaptation, in parts per million.
+        error_ppm: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -526,7 +539,8 @@ impl TelemetryEvent {
             | TelemetryEvent::BulkLoadFinished { at_ms, .. }
             | TelemetryEvent::ReconsolidationStarted { at_ms, .. }
             | TelemetryEvent::ReconsolidationCompleted { at_ms, .. }
-            | TelemetryEvent::GroupCutover { at_ms, .. } => at_ms,
+            | TelemetryEvent::GroupCutover { at_ms, .. }
+            | TelemetryEvent::ControllerAdapted { at_ms, .. } => at_ms,
         }
     }
 }

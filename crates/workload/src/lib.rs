@@ -43,6 +43,7 @@ pub mod library;
 pub mod log;
 pub mod persist;
 pub mod rng;
+pub mod scenarios;
 pub mod session;
 pub mod templates;
 pub mod tenant;
@@ -60,6 +61,9 @@ pub mod prelude {
     pub use crate::library::SessionLibrary;
     pub use crate::log::{LoggedQuery, MultiTenantLog, QueryEvent, SessionLog, TenantLog};
     pub use crate::persist::SavedCorpus;
+    pub use crate::scenarios::{
+        AdversarialScenario, ScenarioConfig, ScenarioKind, ScenarioQuery, SCENARIO_TEMPLATE,
+    };
     pub use crate::templates::{
         catalog, template_name, tpch_q1, tpch_q19, Benchmark, NamedTemplate,
     };

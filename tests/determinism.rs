@@ -267,6 +267,39 @@ fn reconsolidation_cycle_is_byte_identical_across_thread_counts() {
     );
 }
 
+/// The controller experiment drives every adversarial scenario through
+/// both re-consolidation arms — adaptive cadence, churn bounds, error
+/// measurement, cutovers — with the arms fanned out under `par_map`. The
+/// entire result (scenario tables, skip attribution, and the thrash arm's
+/// telemetry stream) must be byte-identical whether the harness runs on 1
+/// thread or 4. Both runs happen inside one `#[test]` because the thread
+/// override is process-global.
+#[test]
+fn controller_experiment_is_byte_identical_across_thread_counts() {
+    use thrifty_bench::experiments::controller;
+    use thrifty_bench::parallel;
+
+    let run = |threads: usize| -> String {
+        parallel::set_thread_override(Some(threads));
+        let mut result = controller::controller();
+        parallel::set_thread_override(None);
+        // Stage timings are wall clock — the one field allowed to differ.
+        result.timings.clear();
+        serde_json::to_string(&result).unwrap()
+    };
+    let serial = run(1);
+    let parallel_run = run(4);
+    assert_eq!(
+        serial, parallel_run,
+        "a full feedback-controller run over the adversarial scenario library \
+         must not differ by a single byte across thread counts"
+    );
+    assert!(
+        serial.contains("thrash"),
+        "the compared run must include the planner-thrashing scenario"
+    );
+}
+
 /// The session-replay loop schedules user wake-ups through a binary heap;
 /// heaps are famously *not* insertion-order-independent for equal keys, so
 /// the `(instant, user index)` key must totally order every entry. Pushing

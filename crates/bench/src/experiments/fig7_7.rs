@@ -288,6 +288,7 @@ fn phase_stats(report: &ServiceReport, from_ms: u64, to_ms: u64) -> (f64, f64) {
         return (0.0, 1.0);
     }
     let rate = in_window.iter().filter(|r| !r.met).count() as f64 / in_window.len() as f64;
+    // lint: allow(float-merge) — max is order-insensitive (no accumulation).
     let worst = in_window.iter().map(|r| r.normalized).fold(1.0, f64::max);
     (rate, worst)
 }
@@ -392,6 +393,7 @@ pub fn fig_7_7(harness: &Harness) -> ExperimentResult {
         let values: Vec<f64> = run
             .trace
             .chunks(4)
+            // lint: allow(float-merge) — min is order-insensitive.
             .map(|c| c.iter().map(|s| s.rt_ttp).fold(1.0, f64::min))
             .collect();
         sparkline(&values, 0.995, 1.0)

@@ -87,6 +87,9 @@ fn replay_day_one(harness: &Harness, corpus: &CorpusView) -> (Table, TelemetrySn
     let mean_util = if snap.instances.is_empty() {
         0.0
     } else {
+        // Order pinned: the telemetry snapshot lists instances in
+        // provisioning order, independent of the thread count.
+        // lint: allow(float-merge)
         snap.instances.iter().map(|i| i.utilization).sum::<f64>() / snap.instances.len() as f64
     };
     t.push_row(vec![

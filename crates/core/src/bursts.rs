@@ -92,6 +92,9 @@ impl BurstDetector {
         if profile.is_empty() {
             return Vec::new();
         }
+        // Order pinned: the window profile is a Vec indexed by window
+        // position, walked front to back.
+        // lint: allow(float-merge)
         let mean = profile.iter().sum::<f64>() / profile.len() as f64;
         let threshold = (mean * self.threshold_factor).max(self.min_busy_fraction);
         profile

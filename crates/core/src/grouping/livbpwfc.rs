@@ -293,6 +293,11 @@ impl GroupingSolution {
     /// Checks that the solution is a partition of all tenants and every
     /// group satisfies the fuzzy capacity constraint. Returns a description
     /// of the first violation, if any.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violation: an empty
+    /// group, a tenant missing or assigned twice, or a group exceeding
+    /// the fuzzy capacity bound.
     pub fn validate(&self, problem: &GroupingProblem) -> Result<(), String> {
         let mut seen = vec![false; problem.len()];
         for (gi, g) in self.groups.iter().enumerate() {

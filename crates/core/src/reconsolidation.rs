@@ -649,6 +649,10 @@ impl Reconsolidator {
         let target = self.advisor.sla_p.max(f64::EPSILON);
         let mut error = 0.0f64;
         if !fresh.is_empty() {
+            // Order pinned: `records` is the service's completion log,
+            // appended in deterministic event order regardless of the
+            // replay thread count.
+            // lint: allow(float-merge)
             let mean_norm = fresh.iter().map(|r| r.normalized).sum::<f64>() / fresh.len() as f64;
             error = error.max((mean_norm - 1.0).clamp(0.0, 1.0));
             let summary = SlaSummary::from_records(fresh);

@@ -120,6 +120,7 @@ pub fn identify_over_active(
                 (m.id, window_ratio(m.id) / baseline)
             })
             .collect();
+        // lint: allow(float-merge) — max is order-insensitive (no accumulation).
         let top = deviations.iter().map(|&(_, d)| d).fold(0.0, f64::max);
         let mut over: Vec<TenantId> = deviations
             .into_iter()

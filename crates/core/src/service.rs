@@ -373,6 +373,11 @@ impl ThriftyService {
     /// Deploys a plan onto a fresh cluster of `total_nodes` nodes and
     /// prepares the run-time state. `templates` supplies the latency
     /// profile of every template id the replayed log may reference.
+    ///
+    /// # Errors
+    /// Propagates the deployment master's failure when the plan does not
+    /// fit the cluster (e.g. a group requests more nodes than remain in
+    /// the pool) or an instance cannot be provisioned.
     pub fn deploy(
         plan: &DeploymentPlan,
         total_nodes: usize,
@@ -534,6 +539,10 @@ impl ThriftyService {
     /// snapshot), so replaying a large log does not hold two copies of
     /// the record vectors in memory at once. Use [`Self::records`] or
     /// [`Self::report`] for non-draining access.
+    ///
+    /// # Errors
+    /// Fails like [`Self::submit`]: a query naming an unknown tenant, or a
+    /// simulator/bookkeeping error surfaced while delivering events.
     pub fn replay<I>(&mut self, queries: I) -> ThriftyResult<ServiceReport>
     where
         I: IntoIterator<Item = IncomingQuery>,
@@ -552,6 +561,12 @@ impl ThriftyService {
     /// a query bearing an older log timestamp (e.g. scheduled against a
     /// completion that surfaced late) executes *now* — the monitor's
     /// interval accounting requires monotone event times.
+    ///
+    /// # Errors
+    /// [`ThriftyError::UnknownTenant`] when the query names a tenant the
+    /// deployment never loaded; propagates [`ThriftyError::Internal`] (or
+    /// a simulator error) if event delivery violates the service's
+    /// bookkeeping invariants.
     pub fn submit(&mut self, q: IncomingQuery) -> ThriftyResult<()> {
         let at =
             SimTime::from_ms((q.submit.as_ms() + self.offset_ms).max(self.cluster.now().as_ms()));
@@ -578,6 +593,10 @@ impl ThriftyService {
     /// Schedules a node failure at a log-time instant. The MPPDB stays
     /// online at reduced parallelism and a replacement node is started
     /// automatically if the pool has one (Chapter 4.4).
+    ///
+    /// # Errors
+    /// [`SimError::UnknownNode`] (wrapped) when `node` does not exist in
+    /// the cluster.
     pub fn inject_node_failure(&mut self, node: NodeId, at_log: SimTime) -> ThriftyResult<()> {
         let at = SimTime::from_ms(at_log.as_ms() + self.offset_ms);
         self.cluster.inject_node_failure(node, at)?;
@@ -586,6 +605,10 @@ impl ThriftyService {
 
     /// Invoices a tenant under the given tariff (Chapter 3 pricing model:
     /// requested nodes + metered active usage).
+    ///
+    /// # Errors
+    /// [`ThriftyError::UnknownTenant`] when the tenant is not part of the
+    /// deployment.
     pub fn invoice(
         &self,
         tenant: TenantId,
@@ -796,6 +819,10 @@ impl ThriftyService {
     /// Schedules every node failure of a [`FailurePlan`] at its log-time
     /// instant (the plan's times are interpreted on the log timeline, like
     /// [`Self::inject_node_failure`]).
+    ///
+    /// # Errors
+    /// Fails like [`Self::inject_node_failure`] on the first event naming
+    /// an unknown node.
     pub fn apply_failure_plan(&mut self, plan: &FailurePlan) -> ThriftyResult<()> {
         for &(node, at) in plan.events() {
             self.inject_node_failure(node, at)?;

@@ -122,6 +122,7 @@ impl SlaSummary {
         let worst_normalized = records
             .iter()
             .map(|r| r.normalized)
+            // lint: allow(float-merge) — max is order-insensitive.
             .fold(f64::NEG_INFINITY, f64::max);
         SlaSummary {
             total: records.len(),

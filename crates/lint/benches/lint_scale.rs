@@ -1,0 +1,53 @@
+//! `lint_scale`: wall-time of a full-tree lint run.
+//!
+//! The nine-pass analyzer runs on every `cargo test` (the root
+//! `lint_clean` integration test) and in CI, so it must stay cheap: the
+//! budget is **250 ms** for the whole workspace `crates/` tree, enforced
+//! by the guard after the criterion measurement. If the brace-tree
+//! parser or the L7 reachability sweep regresses past the budget, this
+//! bench fails the CI lint job rather than silently taxing every build.
+
+use criterion::{criterion_group, Criterion};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn workspace_crates() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../crates")
+}
+
+fn bench_full_tree(c: &mut Criterion) {
+    let root = workspace_crates();
+    let mut group = c.benchmark_group("lint_scale");
+    group.sample_size(10);
+    group.bench_function("full_tree", |b| {
+        b.iter(|| {
+            let report = thrifty_lint::lint_tree(&root).expect("tree readable");
+            assert!(report.files_scanned > 50);
+            report.findings.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_tree);
+
+const BUDGET_MS: u128 = 250;
+
+fn main() {
+    benches();
+
+    // The guard: one cold full-tree run must fit the budget.
+    let root = workspace_crates();
+    let start = Instant::now();
+    let report = thrifty_lint::lint_tree(&root).expect("tree readable");
+    let elapsed = start.elapsed().as_millis();
+    assert!(report.files_scanned > 50);
+    assert!(
+        elapsed < BUDGET_MS,
+        "full-tree lint took {elapsed} ms, budget is {BUDGET_MS} ms"
+    );
+    println!(
+        "lint_scale guard: {elapsed} ms for {} files (budget {BUDGET_MS} ms)",
+        report.files_scanned
+    );
+}

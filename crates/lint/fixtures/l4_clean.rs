@@ -1,5 +1,9 @@
 //! L4 negative fixture: failures routed through Result.
 
+/// First element of the slice.
+///
+/// # Errors
+/// `"empty slice"` when there is no first element.
 pub fn first(v: &[u32]) -> Result<u32, &'static str> {
     v.first().copied().ok_or("empty slice")
 }

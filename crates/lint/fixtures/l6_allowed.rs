@@ -1,0 +1,8 @@
+//! L6 annotated fixture: a reviewed exception to the layering contract.
+
+// lint: allow(layering)
+use thrifty_bench::parallel::par_map;
+
+pub fn group_sizes(groups: &[Vec<u32>]) -> Vec<usize> {
+    par_map("sizes", groups, |g| g.len())
+}

@@ -1,0 +1,8 @@
+//! L6 negative fixture: core depending "down" on the simulator is the
+//! permitted direction.
+
+use mppdb_sim::time::SimTime;
+
+pub fn horizon(now: SimTime) -> SimTime {
+    now
+}

@@ -1,0 +1,8 @@
+//! L6 positive fixture: a core module reaching "up" into the bench
+//! harness — the layering contract forbids the core -> bench edge.
+
+use thrifty_bench::parallel::par_map;
+
+pub fn group_sizes(groups: &[Vec<u32>]) -> Vec<usize> {
+    par_map("sizes", groups, |g| g.len())
+}

@@ -1,0 +1,9 @@
+//! L7 annotated fixture: the reduction's iteration order is pinned and
+//! the annotation says why.
+
+pub fn merged_mean(shards: &[Vec<f64>]) -> f64 {
+    let sums = crate::parallel::par_map("sum", shards, |s| s.len() as f64);
+    // Order pinned: par_map returns results in input order.
+    // lint: allow(float-merge)
+    sums.iter().sum::<f64>() / sums.len() as f64
+}

@@ -1,0 +1,12 @@
+//! L7 negative fixture: the same shape off the merge path (no parallel
+//! entry point anywhere in the function), plus an integer reduction on
+//! one (integer addition is associative, so order cannot matter).
+
+pub fn plain_mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+pub fn merged_count(shards: &[Vec<f64>]) -> usize {
+    let sizes = crate::parallel::par_map("len", shards, |s| s.len());
+    sizes.iter().sum::<usize>()
+}

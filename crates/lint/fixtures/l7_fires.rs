@@ -1,0 +1,11 @@
+//! L7 positive fixture: unpinned float reductions in a function on a
+//! parallel merge path (it invokes the fork-join executor).
+
+pub fn merged_mean(shards: &[Vec<f64>]) -> f64 {
+    let sums = crate::parallel::par_map("sum", shards, |s| s.iter().sum::<f64>());
+    let mut acc = 0.0;
+    for s in &sums {
+        acc += s;
+    }
+    acc / sums.len() as f64
+}

@@ -1,0 +1,11 @@
+//! L8 annotated fixture: a stale annotation kept deliberately (e.g. the
+//! violation is about to return in a queued change), tombstoned with the
+//! L8 key itself.
+
+// lint: allow(stale-allow)
+// lint: allow(unordered)
+use std::collections::BTreeMap;
+
+pub fn build() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}

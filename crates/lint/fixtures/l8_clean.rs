@@ -1,0 +1,10 @@
+//! L8 negative fixture: the annotation earns its keep — it suppresses a
+//! real L1 finding on the next line.
+
+// lint: allow(unordered)
+use std::collections::HashMap;
+
+// lint: allow(unordered)
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new() // lint: allow(unordered)
+}

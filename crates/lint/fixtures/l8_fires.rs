@@ -1,0 +1,10 @@
+//! L8 positive fixture: annotations that suppress nothing — one whose
+//! violation was refactored away, one whose key names no rule.
+
+// lint: allow(unordered)
+use std::collections::BTreeMap;
+
+// lint: allow(hashmpa)
+pub fn build() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}

@@ -1,0 +1,8 @@
+//! L9 annotated fixture: a reviewed exception (e.g. a trait-mirroring
+//! signature whose error is documented on the trait).
+
+/// Parses a shard count.
+// lint: allow(error-docs)
+pub fn parse_shards(s: &str) -> Result<u32, String> {
+    s.parse::<u32>().map_err(|e| e.to_string())
+}

@@ -1,0 +1,18 @@
+//! L9 negative fixture: the failure modes are documented (and private /
+//! infallible functions are out of scope).
+
+/// Parses a shard count.
+///
+/// # Errors
+/// A human-readable message when `s` is not a decimal `u32`.
+pub fn parse_shards(s: &str) -> Result<u32, String> {
+    s.parse::<u32>().map_err(|e| e.to_string())
+}
+
+fn private_helper(s: &str) -> Result<u32, String> {
+    s.parse::<u32>().map_err(|e| e.to_string())
+}
+
+pub fn infallible(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,6 @@
+//! L9 positive fixture: a public fallible API with no `# Errors` section.
+
+/// Parses a shard count.
+pub fn parse_shards(s: &str) -> Result<u32, String> {
+    s.parse::<u32>().map_err(|e| e.to_string())
+}

@@ -5,618 +5,102 @@
 //! PR 2 error-hardening discipline (library code reports failures through
 //! `ThriftyError`/`SimError` instead of panicking). Neither contract is
 //! visible to the compiler, so this crate machine-checks both on every
-//! commit with a small, self-contained lexical analysis — no network, no
-//! rustc plumbing, just a comment/string-aware tokenizer and five rules:
+//! commit — no network, no rustc plumbing. Since PR 9 it is a scope-aware
+//! multi-pass analyzer: a comment/string-aware tokenizer
+//! ([`tokenizer`]) feeds a lightweight brace-tree parser ([`tree`]) that
+//! assigns every token a scope path (crate → module → `impl`/`fn`) and
+//! exempts `#[cfg(test)]`/`#[test]` **subtrees** structurally; the rule
+//! passes ([`rules`]) then run over one shared analysis per file:
 //!
-//! | rule | scope                  | what it rejects                                   |
-//! |------|------------------------|---------------------------------------------------|
-//! | L1   | all workspace crates   | `HashMap`/`HashSet` (iteration order is random)   |
-//! | L2   | `core`,`sim`,`workload`| `Instant`/`SystemTime`/`thread_rng` ambient state |
-//! | L3   | all but `bench::parallel` | `spawn` (ad-hoc threading)                     |
-//! | L4   | `core`,`sim`,`workload` non-test | `.unwrap()`/`.expect()`/`panic!`/`unreachable!` |
-//! | L5   | `sim`                  | bare `as` casts to integer types                  |
+//! | rule | scope                       | what it rejects                                    |
+//! |------|-----------------------------|----------------------------------------------------|
+//! | L1   | all workspace crates        | `HashMap`/`HashSet` (iteration order is random)    |
+//! | L2   | `core`,`sim`,`workload`     | `Instant`/`SystemTime`/`thread_rng` ambient state  |
+//! | L3   | all but `bench::parallel`   | `spawn` (ad-hoc threading)                         |
+//! | L4   | `core`,`sim`,`workload`     | `.unwrap()`/`.expect()`/`panic!`/`unreachable!`    |
+//! | L5   | `sim`                       | bare `as` casts to integer types                   |
+//! | L6   | tree-wide                   | crate edges outside the layering contract; cycles  |
+//! | L7   | parallel merge paths        | unpinned `f32`/`f64` reductions                    |
+//! | L8   | all workspace crates        | `lint: allow(..)` that suppresses nothing          |
+//! | L9   | `core`,`sim`                | `pub fn -> Result` without an `# Errors` section   |
 //!
 //! Legitimate exceptions are annotated in the source with
 //! `// lint: allow(<key>)` (keys: `unordered`, `ambient`, `thread-spawn`,
-//! `panic`, `cast`). An annotation covers its own line and the next line,
-//! so it can trail the offending expression or sit on the line above it.
-//! Code under `#[cfg(test)]` (and `#[test]` items) is exempt from every
-//! rule: tests may unwrap and may time themselves.
+//! `panic`, `cast`, `layering`, `float-merge`, `stale-allow`,
+//! `error-docs`). An annotation covers its own line and the next line, so
+//! it can trail the offending expression or sit on the line above it —
+//! and rule L8 audits the escape hatches themselves: an annotation that
+//! suppresses nothing is a finding, so the hatches cannot rot.
+//! `thrifty-lint --explain <rule>` prints each rule's rationale.
 //!
 //! The pass is wired in three places so it cannot rot: the
 //! `tests/lint_clean.rs` integration test (tier-1 `cargo test` fails on any
 //! finding), a dedicated CI job (`cargo run -p thrifty-lint -- crates
-//! --format json`), and fixture tests under `crates/lint/fixtures/` that
-//! prove each rule still fires on known-bad snippets.
+//! --format json`, plus the `lint_scale` wall-time guard), and fixture
+//! tests under `crates/lint/fixtures/` that prove each rule fires on
+//! known-bad snippets, stays quiet on clean ones, and honors its allow key.
 
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
-use std::fmt;
+pub mod config;
+pub mod report;
+pub mod rules;
+pub mod tokenizer;
+pub mod tree;
+
+pub use config::{explain, rule_info, CrateScope, LayeringContract, RuleInfo, RULES};
+pub use report::{render_json, render_text, Finding, LintReport};
+pub use rules::layering::{dep_graph as build_dep_graph, DepGraph, EdgeSite};
+
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// One rule violation at a precise source location.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Finding {
-    /// Rule identifier (`"L1"` … `"L5"`).
-    pub rule: String,
-    /// Path of the offending file, as given to the linter.
-    pub file: String,
-    /// 1-based line of the offending token.
-    pub line: usize,
-    /// 1-based column (in characters) of the offending token.
-    pub column: usize,
-    /// Human-readable explanation of the violation.
-    pub message: String,
-    /// The offending source line, trimmed.
-    pub snippet: String,
+/// Lints a set of files as one tree: per-file rules plus the tree-wide
+/// layering, float-order, and allow-audit passes. Paths are used both for
+/// reporting and for rule scoping, so callers can pass synthetic paths
+/// like `crates/core/src/example.rs`.
+pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
+    rules::run_all(files, &LayeringContract::default())
 }
 
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}:{}: [{}] {}\n    {}",
-            self.file, self.line, self.column, self.rule, self.message, self.snippet
-        )
-    }
+/// [`lint_sources`] with a caller-supplied layering contract.
+pub fn lint_sources_with(files: &[(&str, &str)], contract: &LayeringContract) -> Vec<Finding> {
+    rules::run_all(files, contract)
 }
 
-/// A whole lint run, serializable for the CI `--format json` mode.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LintReport {
-    /// Number of files scanned.
-    pub files_scanned: usize,
-    /// Every violation found, in (file, line, column) order.
-    pub findings: Vec<Finding>,
-}
-
-impl LintReport {
-    /// True when the tree is clean.
-    pub fn is_clean(&self) -> bool {
-        self.findings.is_empty()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-/// Token kinds the rules care about. Literals and comments are consumed by
-/// the lexer and never become tokens, which is exactly what makes the pass
-/// safe against `"HashMap"` appearing in a string or a doc comment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum TokKind {
-    Ident,
-    Punct,
-}
-
-#[derive(Clone, Debug)]
-struct Token {
-    kind: TokKind,
-    /// Byte range into the source (identifiers) or the punctuation string.
-    text: String,
-    line: usize,
-    column: usize,
-}
-
-/// Lexed file: significant tokens plus the `lint: allow(...)` annotations
-/// harvested from comments, keyed by the line the comment starts on.
-struct Lexed {
-    tokens: Vec<Token>,
-    /// `(line, key)` pairs: annotation on `line` suppresses findings on
-    /// `line` and `line + 1`.
-    allows: BTreeSet<(usize, String)>,
-}
-
-/// Parses `lint: allow(key1, key2)` out of a comment body.
-fn harvest_allows(comment: &str, line: usize, allows: &mut BTreeSet<(usize, String)>) {
-    let mut rest = comment;
-    while let Some(pos) = rest.find("lint: allow(") {
-        rest = &rest[pos + "lint: allow(".len()..];
-        let Some(end) = rest.find(')') else { return };
-        for key in rest[..end].split(',') {
-            allows.insert((line, key.trim().to_string()));
-        }
-        rest = &rest[end..];
-    }
-}
-
-/// A comment/string-aware Rust lexer. Handles line comments, nested block
-/// comments, string/char/byte literals, raw strings with `#` fences, and
-/// lifetimes. Everything it does not understand becomes single-character
-/// punctuation, which is all the rules need.
-fn lex(source: &str) -> Lexed {
-    let chars: Vec<char> = source.chars().collect();
-    let mut tokens = Vec::new();
-    let mut allows = BTreeSet::new();
-    let mut i = 0;
-    let mut line = 1;
-    let mut col = 1;
-
-    macro_rules! bump {
-        () => {{
-            if chars[i] == '\n' {
-                line += 1;
-                col = 1;
-            } else {
-                col += 1;
-            }
-            i += 1;
-        }};
-    }
-
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-
-        // Line comment (also doc comments `///` and `//!`).
-        if c == '/' && next == Some('/') {
-            let start_line = line;
-            let mut body = String::new();
-            while i < chars.len() && chars[i] != '\n' {
-                body.push(chars[i]);
-                bump!();
-            }
-            harvest_allows(&body, start_line, &mut allows);
-            continue;
-        }
-        // Block comment, possibly nested.
-        if c == '/' && next == Some('*') {
-            let start_line = line;
-            let mut body = String::new();
-            let mut depth = 0usize;
-            while i < chars.len() {
-                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    body.push('/');
-                    bump!();
-                    body.push('*');
-                    bump!();
-                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    body.push('*');
-                    bump!();
-                    body.push('/');
-                    bump!();
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    body.push(chars[i]);
-                    bump!();
-                }
-            }
-            harvest_allows(&body, start_line, &mut allows);
-            continue;
-        }
-        // Raw string: r"..." / r#"..."# / br#"..."# with any fence width.
-        if (c == 'r' || (c == 'b' && next == Some('r')))
-            && matches!(
-                chars.get(i + if c == 'b' { 2 } else { 1 }),
-                Some('"') | Some('#')
-            )
-        {
-            let mut j = i + if c == 'b' { 2 } else { 1 };
-            let mut fence = 0usize;
-            while chars.get(j) == Some(&'#') {
-                fence += 1;
-                j += 1;
-            }
-            if chars.get(j) == Some(&'"') {
-                // Consume up to and including the opening quote.
-                while i <= j {
-                    bump!();
-                }
-                // Scan for `"` followed by `fence` hashes.
-                'raw: while i < chars.len() {
-                    if chars[i] == '"' {
-                        let mut ok = true;
-                        for k in 0..fence {
-                            if chars.get(i + 1 + k) != Some(&'#') {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
-                            for _ in 0..=fence {
-                                bump!();
-                            }
-                            break 'raw;
-                        }
-                    }
-                    bump!();
-                }
-                continue;
-            }
-            // `r` not starting a raw string: fall through as identifier.
-        }
-        // String literal (also byte strings b"...").
-        if c == '"' || (c == 'b' && next == Some('"')) {
-            if c == 'b' {
-                bump!();
-            }
-            bump!(); // opening quote
-            while i < chars.len() {
-                if chars[i] == '\\' {
-                    bump!();
-                    if i < chars.len() {
-                        bump!();
-                    }
-                } else if chars[i] == '"' {
-                    bump!();
-                    break;
-                } else {
-                    bump!();
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == '\'' {
-            // `'\x'`-style or `'c'` is a char literal; `'ident` is a
-            // lifetime (or a loop label) and has no closing quote.
-            let is_char_lit = match next {
-                Some('\\') => true,
-                Some(ch) => chars.get(i + 2) == Some(&'\'') && ch != '\'',
-                None => false,
-            };
-            if is_char_lit {
-                bump!(); // '
-                if chars[i] == '\\' {
-                    bump!();
-                    while i < chars.len() && chars[i] != '\'' {
-                        bump!();
-                    }
-                    bump!(); // closing '
-                } else {
-                    bump!(); // the char
-                    bump!(); // closing '
-                }
-            } else {
-                bump!(); // '
-                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
-                    bump!();
-                }
-            }
-            continue;
-        }
-        // Identifier or keyword.
-        if c.is_alphabetic() || c == '_' {
-            let (l, co) = (line, col);
-            let mut text = String::new();
-            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
-                text.push(chars[i]);
-                bump!();
-            }
-            tokens.push(Token {
-                kind: TokKind::Ident,
-                text,
-                line: l,
-                column: co,
-            });
-            continue;
-        }
-        // Number literal: consume so `0usize` suffixes don't become idents.
-        if c.is_ascii_digit() {
-            while i < chars.len()
-                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
-            {
-                // Stop at `..` range punctuation.
-                if chars[i] == '.' && chars.get(i + 1) == Some(&'.') {
-                    break;
-                }
-                bump!();
-            }
-            continue;
-        }
-        // `::` as one token (used by rule patterns); all else single chars.
-        if c == ':' && next == Some(':') {
-            tokens.push(Token {
-                kind: TokKind::Punct,
-                text: "::".to_string(),
-                line,
-                column: col,
-            });
-            bump!();
-            bump!();
-            continue;
-        }
-        if !c.is_whitespace() {
-            tokens.push(Token {
-                kind: TokKind::Punct,
-                text: c.to_string(),
-                line,
-                column: col,
-            });
-        }
-        bump!();
-    }
-
-    Lexed { tokens, allows }
-}
-
-// ---------------------------------------------------------------------------
-// Test-code masking
-// ---------------------------------------------------------------------------
-
-/// Marks tokens covered by `#[cfg(test)]` or `#[test]` attributes — the
-/// attribute itself, and the following item through its closing brace (or
-/// terminating semicolon). Returns a bool per token: `true` = test code.
-fn mask_test_code(tokens: &[Token]) -> Vec<bool> {
-    let mut masked = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if is_test_attr(tokens, i) {
-            let attr_end = close_bracket(tokens, i + 1);
-            // Cover the attribute, any stacked attributes, and the item.
-            let mut j = attr_end + 1;
-            // Skip further attributes (e.g. `#[should_panic]`).
-            while j < tokens.len() && tokens[j].text == "#" {
-                j = close_bracket(tokens, j + 1) + 1;
-            }
-            // Find the item's opening brace or terminating semicolon.
-            let mut depth = 0usize;
-            while j < tokens.len() {
-                match tokens[j].text.as_str() {
-                    "{" => {
-                        depth += 1;
-                    }
-                    "}" => {
-                        depth = depth.saturating_sub(1);
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    ";" if depth == 0 => break,
-                    _ => {}
-                }
-                j += 1;
-            }
-            let end = j.min(tokens.len().saturating_sub(1));
-            for m in masked.iter_mut().take(end + 1).skip(i) {
-                *m = true;
-            }
-            i = end + 1;
-        } else {
-            i += 1;
-        }
-    }
-    masked
-}
-
-/// Does `#` at index `i` start `#[cfg(test)]` or `#[test]`?
-fn is_test_attr(tokens: &[Token], i: usize) -> bool {
-    if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
-        return false;
-    }
-    match tokens.get(i + 2).map(|t| t.text.as_str()) {
-        Some("test") => tokens.get(i + 3).map(|t| t.text.as_str()) == Some("]"),
-        Some("cfg") => {
-            tokens.get(i + 3).map(|t| t.text.as_str()) == Some("(")
-                && tokens.get(i + 4).map(|t| t.text.as_str()) == Some("test")
-                && tokens.get(i + 5).map(|t| t.text.as_str()) == Some(")")
-        }
-        _ => false,
-    }
-}
-
-/// Given index of `[`, returns index of its matching `]`.
-fn close_bracket(tokens: &[Token], open: usize) -> usize {
-    let mut depth = 0usize;
-    let mut j = open;
-    while j < tokens.len() {
-        match tokens[j].text.as_str() {
-            "[" => depth += 1,
-            "]" => {
-                depth -= 1;
-                if depth == 0 {
-                    return j;
-                }
-            }
-            _ => {}
-        }
-        j += 1;
-    }
-    tokens.len().saturating_sub(1)
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-/// Which workspace crate a file belongs to, parsed from its path.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum CrateScope {
-    Core,
-    Sim,
-    Workload,
-    Bench,
-    Lint,
-    Other,
-}
-
-fn crate_scope(path: &str) -> CrateScope {
-    let norm = path.replace('\\', "/");
-    let mut parts = norm.split('/').peekable();
-    while let Some(p) = parts.next() {
-        if p == "crates" {
-            return match parts.peek().copied() {
-                Some("core") => CrateScope::Core,
-                Some("sim") => CrateScope::Sim,
-                Some("workload") => CrateScope::Workload,
-                Some("bench") => CrateScope::Bench,
-                Some("lint") => CrateScope::Lint,
-                _ => CrateScope::Other,
-            };
-        }
-    }
-    CrateScope::Other
-}
-
-const INT_TYPES: [&str; 12] = [
-    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
-];
-
-struct RuleCtx<'a> {
-    path: &'a str,
-    scope: CrateScope,
-    lines: Vec<&'a str>,
-    allows: &'a BTreeSet<(usize, String)>,
-}
-
-impl RuleCtx<'_> {
-    fn allowed(&self, key: &str, line: usize) -> bool {
-        self.allows.contains(&(line, key.to_string()))
-            || (line > 1 && self.allows.contains(&(line - 1, key.to_string())))
-    }
-
-    fn finding(&self, rule: &str, tok: &Token, message: String) -> Finding {
-        Finding {
-            rule: rule.to_string(),
-            file: self.path.to_string(),
-            line: tok.line,
-            column: tok.column,
-            message,
-            snippet: self
-                .lines
-                .get(tok.line - 1)
-                .map(|l| l.trim().to_string())
-                .unwrap_or_default(),
-        }
-    }
-}
-
-/// Lints one file's source text. `path` is used both for reporting and for
-/// rule scoping (which crate the file belongs to), so fixture tests can
-/// pass synthetic paths like `crates/core/src/example.rs`.
+/// Lints one file's source text (a one-file tree; the tree-wide passes
+/// still run, scoped to what a single file can show).
 pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
-    let lexed = lex(source);
-    let masked = mask_test_code(&lexed.tokens);
-    let scope = crate_scope(path);
-    let norm = path.replace('\\', "/");
-    let is_parallel_module =
-        norm.ends_with("crates/bench/src/parallel.rs") || norm == "crates/bench/src/parallel.rs";
-    let ctx = RuleCtx {
-        path,
-        scope,
-        lines: source.lines().collect(),
-        allows: &lexed.allows,
-    };
-    let mut findings = Vec::new();
-    let toks = &lexed.tokens;
-
-    for (i, tok) in toks.iter().enumerate() {
-        if masked[i] || tok.kind != TokKind::Ident {
-            continue;
-        }
-        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
-        let next = toks.get(i + 1);
-        let name = tok.text.as_str();
-
-        // L1: randomized iteration order.
-        if (name == "HashMap" || name == "HashSet") && !ctx.allowed("unordered", tok.line) {
-            findings.push(ctx.finding(
-                "L1",
-                tok,
-                format!(
-                    "{name} has a randomized iteration order that breaks replay determinism; \
-                     use BTreeMap/BTreeSet (or annotate membership-only use with \
-                     `// lint: allow(unordered)`)"
-                ),
-            ));
-        }
-
-        // L2: ambient nondeterminism in deterministic crates.
-        if matches!(
-            ctx.scope,
-            CrateScope::Core | CrateScope::Sim | CrateScope::Workload
-        ) && matches!(
-            name,
-            "Instant" | "SystemTime" | "thread_rng" | "from_entropy"
-        ) && !ctx.allowed("ambient", tok.line)
-        {
-            findings.push(ctx.finding(
-                "L2",
-                tok,
-                format!(
-                    "{name} reads ambient wall-clock/entropy state; deterministic crates must \
-                     take time from SimTime and randomness from seeded DetRng"
-                ),
-            ));
-        }
-
-        // L3: ad-hoc threading outside the blessed executor.
-        if name == "spawn" && !is_parallel_module && !ctx.allowed("thread-spawn", tok.line) {
-            findings.push(
-                ctx.finding(
-                    "L3",
-                    tok,
-                    "thread spawning outside thrifty_bench::parallel bypasses the deterministic \
-                 fork-join executor"
-                        .to_string(),
-                ),
-            );
-        }
-
-        // L4: panicking APIs in core/sim/workload library code.
-        if matches!(
-            ctx.scope,
-            CrateScope::Core | CrateScope::Sim | CrateScope::Workload
-        ) && !ctx.allowed("panic", tok.line)
-        {
-            let method_call = |m: &str| {
-                name == m
-                    && prev.map(|t| t.text.as_str()) == Some(".")
-                    && next.map(|t| t.text.as_str()) == Some("(")
-            };
-            let macro_call = |m: &str| name == m && next.map(|t| t.text.as_str()) == Some("!");
-            if method_call("unwrap") || method_call("expect") {
-                findings.push(ctx.finding(
-                    "L4",
-                    tok,
-                    format!(
-                        ".{name}() can panic in library code; route the failure through \
-                         ThriftyError/SimError instead"
-                    ),
-                ));
-            } else if macro_call("panic") || macro_call("unreachable") || macro_call("todo") {
-                findings.push(ctx.finding(
-                    "L4",
-                    tok,
-                    format!(
-                        "{name}! aborts the caller; library code must return \
-                         ThriftyError/SimError instead"
-                    ),
-                ));
-            }
-        }
-
-        // L5: bare integer casts in the simulator.
-        if ctx.scope == CrateScope::Sim
-            && name == "as"
-            && next.map(|t| INT_TYPES.contains(&t.text.as_str())) == Some(true)
-            && !ctx.allowed("cast", tok.line)
-        {
-            findings.push(ctx.finding(
-                "L5",
-                tok,
-                format!(
-                    "bare `as {}` cast can truncate silently; use the checked helpers in \
-                     mppdb_sim::convert (or annotate with `// lint: allow(cast)`)",
-                    next.map(|t| t.text.clone()).unwrap_or_default()
-                ),
-            ));
-        }
-    }
-
-    findings
+    lint_sources(&[(path, source)])
 }
 
-// ---------------------------------------------------------------------------
-// Directory walking
-// ---------------------------------------------------------------------------
+/// Builds the inter-crate / inter-module dependency graph for a file set
+/// without running the rules (test subtrees excluded).
+pub fn dep_graph(files: &[(&str, &str)]) -> DepGraph {
+    let run = rules::Run::new(files);
+    rules::layering::dep_graph(&run.units)
+}
+
+/// Per-token scope assignment for one file — the tokenizer↔tree seam,
+/// exposed for the property tests: `(token text, line, scope path,
+/// is_test)` in token order.
+pub fn token_scopes(path: &str, source: &str) -> Vec<(String, usize, String, bool)> {
+    let lexed = tokenizer::lex(source);
+    let module = config::module_path(path);
+    let tree = tree::build(&lexed.tokens, &module);
+    lexed
+        .tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            (
+                t.text.clone(),
+                t.line,
+                tree.path_of_token(i),
+                tree.is_test_token(i),
+            )
+        })
+        .collect()
+}
 
 /// Directory names never descended into: generated output, fixtures with
 /// intentionally-bad code, and test/bench trees (exempt by policy).
@@ -628,22 +112,21 @@ pub fn lint_tree(root: &Path) -> io::Result<LintReport> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
-    let mut scanned = 0usize;
+    let mut sources: Vec<(String, String)> = Vec::new();
     for f in &files {
         let display = f.to_string_lossy().replace('\\', "/");
         if !display.split('/').any(|c| c == "src") {
             continue;
         }
-        let source = fs::read_to_string(f)?;
-        scanned += 1;
-        findings.extend(lint_source(&display, &source));
+        sources.push((display, fs::read_to_string(f)?));
     }
-    findings.sort_by(|a, b| {
-        (&a.file, a.line, a.column, &a.rule).cmp(&(&b.file, b.line, b.column, &b.rule))
-    });
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    let findings = lint_sources(&refs);
     Ok(LintReport {
-        files_scanned: scanned,
+        files_scanned: refs.len(),
         findings,
     })
 }
@@ -672,33 +155,13 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result
     Ok(())
 }
 
-// ---------------------------------------------------------------------------
-// Rendering
-// ---------------------------------------------------------------------------
-
-/// Human-readable report.
-pub fn render_text(report: &LintReport) -> String {
-    let mut out = String::new();
-    for f in &report.findings {
-        out.push_str(&f.to_string());
-        out.push('\n');
-    }
-    out.push_str(&format!(
-        "thrifty-lint: {} finding(s) in {} file(s)\n",
-        report.findings.len(),
-        report.files_scanned
-    ));
-    out
-}
-
-/// Machine-readable report for CI (`--format json`).
-pub fn render_json(report: &LintReport) -> String {
-    serde_json::to_string_pretty(report).expect("report serialization is infallible")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule.as_str()).collect()
+    }
 
     #[test]
     fn strings_and_comments_are_not_flagged() {
@@ -741,8 +204,13 @@ mod tests {
         assert!(lint_source("crates/core/src/x.rs", trailing).is_empty());
         let above = "// lint: allow(unordered)\nuse std::collections::HashMap;\n";
         assert!(lint_source("crates/core/src/x.rs", above).is_empty());
+        // Too far away: the L1 finding survives, and the stranded
+        // annotation is itself an L8 finding.
         let too_far = "// lint: allow(unordered)\n\nuse std::collections::HashMap;\n";
-        assert_eq!(lint_source("crates/core/src/x.rs", too_far).len(), 1);
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", too_far)),
+            vec!["L8", "L1"]
+        );
     }
 
     #[test]
@@ -776,13 +244,52 @@ mod tests {
     }
 
     #[test]
-    fn findings_carry_position_and_snippet() {
-        let src = "fn f(x: usize) -> u32 {\n    x as u32\n}\n";
-        let fs = lint_source("crates/sim/src/x.rs", src);
+    fn findings_carry_position_snippet_and_scope() {
+        let src = "impl Widget {\n    fn f(&self, x: usize) -> u32 {\n        x as u32\n    }\n}\n";
+        let fs = lint_source("crates/sim/src/widget.rs", src);
         assert_eq!(fs.len(), 1);
         assert_eq!(fs[0].rule, "L5");
-        assert_eq!(fs[0].line, 2);
-        assert_eq!(fs[0].column, 7);
+        assert_eq!(fs[0].line, 3);
         assert_eq!(fs[0].snippet, "x as u32");
+        assert_eq!(fs[0].scope, "sim::widget::Widget::f");
+    }
+
+    #[test]
+    fn layering_violations_fire_across_a_file_set() {
+        let core_bad = "use thrifty_bench::parallel::par_map;\npub fn f() {}\n";
+        let findings = lint_sources(&[("crates/core/src/x.rs", core_bad)]);
+        assert_eq!(rules_of(&findings), vec!["L6"]);
+
+        // bench -> core is a permitted edge.
+        let bench_ok = "use thrifty::prelude::*;\npub fn f() {}\n";
+        assert!(lint_sources(&[("crates/bench/src/x.rs", bench_ok)]).is_empty());
+    }
+
+    #[test]
+    fn float_merges_fire_only_on_merge_paths() {
+        let on_path = "pub fn merge(xs: &[Vec<f64>]) -> f64 {\n\
+                       let per = crate::parallel::par_map(\"s\", xs, |v| v.len());\n\
+                       xs[0].iter().sum::<f64>() + per.len() as f64\n}\n";
+        let findings = lint_source("crates/bench/src/x.rs", on_path);
+        assert_eq!(rules_of(&findings), vec!["L7"]);
+
+        // The same reduction with no parallel entry point in sight is not
+        // a merge path.
+        let off_path = "pub fn mean(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+        assert!(lint_source("crates/bench/src/x.rs", off_path).is_empty());
+    }
+
+    #[test]
+    fn error_docs_required_in_core_and_sim_only() {
+        let undocumented = "pub fn f() -> Result<u32, String> { Ok(1) }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", undocumented)),
+            vec!["L9"]
+        );
+        assert!(lint_source("crates/bench/src/x.rs", undocumented).is_empty());
+
+        let documented =
+            "/// Does a thing.\n///\n/// # Errors\n/// Fails when unlucky.\npub fn f() -> Result<u32, String> { Ok(1) }\n";
+        assert!(lint_source("crates/core/src/x.rs", documented).is_empty());
     }
 }

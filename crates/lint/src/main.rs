@@ -4,13 +4,16 @@
 //! ```text
 //! cargo run -p thrifty-lint -- crates                # human-readable
 //! cargo run -p thrifty-lint -- crates --format json  # machine-readable
+//! cargo run -p thrifty-lint -- --explain L7          # rule rationale
 //! ```
 //!
 //! Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error.
+//! `--explain` takes a rule id (`L7`) or its allow key (`float-merge`)
+//! and prints the rule's rationale and escape hatch.
 
 use std::path::Path;
 use std::process::ExitCode;
-use thrifty_lint::{lint_tree, render_json, render_text, LintReport};
+use thrifty_lint::{explain, lint_tree, render_json, render_text, LintReport};
 
 fn main() -> ExitCode {
     let mut format = Format::Text;
@@ -26,8 +29,30 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--explain" => {
+                let Some(query) = args.next() else {
+                    eprintln!(
+                        "thrifty-lint: --explain expects a rule id (L7) or allow key (float-merge)"
+                    );
+                    return ExitCode::from(2);
+                };
+                return match explain(&query) {
+                    Some(text) => {
+                        println!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!(
+                            "thrifty-lint: unknown rule {query:?} (use L1..L9 or an allow key)"
+                        );
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--help" | "-h" => {
-                eprintln!("usage: thrifty-lint [PATH ...] [--format text|json]");
+                eprintln!(
+                    "usage: thrifty-lint [PATH ...] [--format text|json]\n       thrifty-lint --explain <rule>"
+                );
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {

@@ -1,0 +1,130 @@
+//! Findings and report rendering.
+//!
+//! The JSON schema is backward-compatible with the PR 4 format: `rule`,
+//! `file`, `line`, `column`, `message`, `snippet` are unchanged, and the
+//! PR 9 `scope` field (the brace-tree scope path of the offending token)
+//! defaults to empty on deserialization so pre-PR-9 artifacts still parse.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One rule violation at a precise source location.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Rule identifier (`"L1"` … `"L9"`).
+    pub rule: String,
+    /// Path of the offending file, as given to the linter.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column (in characters) of the offending token.
+    pub column: usize,
+    /// Scope path of the offending token (e.g.
+    /// `core::reconsolidation::Reconsolidator::measure_error`). Empty for
+    /// whole-tree findings with no single scope (layering cycles).
+    pub scope: String,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+// Hand-written so `scope` defaults to empty: pre-PR-9 JSON artifacts (which
+// lack the field) must keep parsing, and the serde shim's derive has no
+// `#[serde(default)]`.
+impl Deserialize for Finding {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let req = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| serde::Error::msg(format!("Finding: missing field `{key}`")))
+        };
+        Ok(Finding {
+            rule: String::from_value(req("rule")?)?,
+            file: String::from_value(req("file")?)?,
+            line: usize::from_value(req("line")?)?,
+            column: usize::from_value(req("column")?)?,
+            scope: match v.get("scope") {
+                Some(s) => String::from_value(s)?,
+                None => String::new(),
+            },
+            message: String::from_value(req("message")?)?,
+            snippet: String::from_value(req("snippet")?)?,
+        })
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.column, self.rule, self.message
+        )?;
+        if !self.scope.is_empty() {
+            write!(f, "\n    in {}", self.scope)?;
+        }
+        write!(f, "\n    {}", self.snippet)
+    }
+}
+
+/// A whole lint run, serializable for the CI `--format json` mode.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Every violation found, in (file, line, column, rule) order.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Human-readable report.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "thrifty-lint: {} finding(s) in {} file(s)\n",
+        report.findings.len(),
+        report.files_scanned
+    ));
+    out
+}
+
+/// Machine-readable report for CI (`--format json`).
+pub fn render_json(report: &LintReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serialization is infallible")
+}
+
+/// Sorts findings into the canonical (file, line, column, rule) order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.column, &a.rule).cmp(&(&b.file, b.line, b.column, &b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pre_scope_json_still_deserializes() {
+        let legacy = r#"{
+            "files_scanned": 1,
+            "findings": [{
+                "rule": "L1", "file": "crates/core/src/x.rs",
+                "line": 3, "column": 7,
+                "message": "m", "snippet": "s"
+            }]
+        }"#;
+        let report: LintReport = serde_json::from_str(legacy).expect("legacy format parses");
+        assert_eq!(report.findings[0].scope, "");
+    }
+}

@@ -1,0 +1,88 @@
+//! L8: every `lint: allow(..)` annotation must suppress something.
+//!
+//! The escape hatches are load-bearing documentation: each one records a
+//! reviewed decision that a specific violation is safe. When the code it
+//! justified is refactored away, the stale annotation silently excuses
+//! the next real violation typed near it — so an allow that suppressed
+//! nothing during this run is itself a finding, as is an allow whose key
+//! matches no rule. This pass runs last, over the consumption ledger the
+//! other passes filled in.
+//!
+//! A deliberately kept tombstone can be annotated with the L8 key itself
+//! (`allow(stale-allow)` on or above the stale line), which follows the
+//! same rules: the tombstone must itself suppress a stale-allow finding.
+
+use super::Run;
+use crate::config::RULES;
+use crate::report::Finding;
+
+/// Runs the allow-audit over the whole file set.
+pub fn check(run: &mut Run<'_>, findings: &mut Vec<Finding>) {
+    let known: Vec<&str> = RULES.iter().map(|r| r.allow_key).collect();
+    for u in 0..run.units.len() {
+        let sites: Vec<(usize, usize, usize, String)> = run.units[u]
+            .lexed
+            .allows
+            .iter()
+            .enumerate()
+            .map(|(ai, s)| (ai, s.line, s.column, s.key.clone()))
+            .collect();
+        for (ai, line, column, key) in sites {
+            if key == "stale-allow" {
+                // Tombstones are audited after the findings they cover.
+                continue;
+            }
+            if run.used_allows.contains(&(u, ai)) {
+                continue;
+            }
+            if run.allowed(u, "stale-allow", line) {
+                continue;
+            }
+            let message = if known.contains(&key.as_str()) {
+                format!(
+                    "`lint: allow({key})` suppresses nothing — the violation it justified \
+                     is gone; remove the stale annotation (or keep a deliberate tombstone \
+                     with `lint: allow(stale-allow)`)"
+                )
+            } else {
+                format!(
+                    "`lint: allow({key})` names no rule (known keys: {}); fix the key or \
+                     remove the annotation",
+                    known.join(", ")
+                )
+            };
+            let scope_path = scope_at_line(run, u, line);
+            findings.push(run.finding(u, "L8", line, column, scope_path, message));
+        }
+        // Second sweep: tombstones that themselves suppressed nothing.
+        let sites: Vec<(usize, usize, usize, String)> = run.units[u]
+            .lexed
+            .allows
+            .iter()
+            .enumerate()
+            .map(|(ai, s)| (ai, s.line, s.column, s.key.clone()))
+            .collect();
+        for (ai, line, column, key) in sites {
+            if key != "stale-allow" || run.used_allows.contains(&(u, ai)) {
+                continue;
+            }
+            let message = "`lint: allow(stale-allow)` tombstone covers no stale annotation; \
+                           remove it"
+                .to_string();
+            let scope_path = scope_at_line(run, u, line);
+            findings.push(run.finding(u, "L8", line, column, scope_path, message));
+        }
+    }
+}
+
+/// Scope path of the nearest token on or after a comment's line (the
+/// comment itself is not a token).
+fn scope_at_line(run: &Run<'_>, u: usize, line: usize) -> String {
+    let unit = &run.units[u];
+    unit.lexed
+        .tokens
+        .iter()
+        .position(|t| t.line >= line)
+        .map(|i| unit.tree.path_of_token(i))
+        .unwrap_or_else(|| unit.module.clone())
+}

@@ -1,0 +1,63 @@
+//! L9: public fallible APIs in `core`/`sim` document their errors.
+//!
+//! The PR 2 error-hardening discipline routes library failures through
+//! `ThriftyError`/`SimError`; a caller can only handle what is
+//! documented. Every `pub fn` in `core`/`sim` whose signature returns a
+//! `Result` (any `*Result` alias counts) must carry an `# Errors` section
+//! in the doc block sitting directly above the item (attributes between
+//! the docs and the signature are fine). Trait methods and test code are
+//! exempt; a deliberate exception is annotated `// lint: allow(error-docs)`
+//! on or above the `fn` line.
+
+use super::Run;
+use crate::config::CrateScope;
+use crate::report::Finding;
+
+/// Runs the error-docs pass over one file.
+pub fn check(run: &mut Run<'_>, u: usize, findings: &mut Vec<Finding>) {
+    if !matches!(run.units[u].scope, CrateScope::Core | CrateScope::Sim) {
+        return;
+    }
+    let candidates: Vec<(usize, usize, usize, usize, String)> = run.units[u]
+        .tree
+        .fn_nodes()
+        .filter(|(_, n)| n.is_pub && !n.is_test && n.returns_result)
+        .map(|(idx, n)| {
+            (
+                idx,
+                n.anchor_line,
+                n.name_line,
+                n.name_column,
+                n.name.clone(),
+            )
+        })
+        .collect();
+    for (idx, anchor_line, name_line, name_column, name) in candidates {
+        // Collect the contiguous doc block directly above the item.
+        let mut docs = String::new();
+        let mut l = anchor_line.saturating_sub(1);
+        while l >= 1 {
+            match run.units[u].lexed.doc_lines.get(&l) {
+                Some(text) => {
+                    docs.push_str(text);
+                    docs.push('\n');
+                }
+                None => break,
+            }
+            l -= 1;
+        }
+        if docs.contains("# Errors") {
+            continue;
+        }
+        if run.allowed(u, "error-docs", name_line) {
+            continue;
+        }
+        let scope_path = run.units[u].tree.path(idx);
+        let message = format!(
+            "pub fn `{name}` returns a Result but its doc comment has no `# Errors` \
+             section; document when it fails (or annotate with \
+             `// lint: allow(error-docs)`)"
+        );
+        findings.push(run.finding(u, "L9", name_line, name_column, scope_path, message));
+    }
+}

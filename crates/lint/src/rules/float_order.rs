@@ -1,0 +1,241 @@
+//! L7: float reductions on parallel merge paths must pin their order.
+//!
+//! Floating-point addition is not associative, so an `f64` reduction
+//! whose iteration order can vary with the thread count produces
+//! run-dependent bits — exactly the failure mode the byte-identical
+//! replay contract exists to prevent, and one a lexical pass per line
+//! cannot see. This pass works tree-wide:
+//!
+//! 1. index every `fn` in the scope forest;
+//! 2. build a conservative name-based call graph (an identifier followed
+//!    by `(`, or preceded by `::`, is a potential callee — an
+//!    over-approximation, which for a reachability *screen* is the safe
+//!    direction);
+//! 3. seed reachability with the merge paths: every function defined in
+//!    `thrifty_bench::parallel` / `thrifty_bench::sharded`, plus every
+//!    function whose body invokes `par_map` / `par_join2` /
+//!    `two_step_grouping_sharded`;
+//! 4. flag `f32`/`f64` reductions — `.sum::<f64>()`, `.product::<f64>()`,
+//!    `.fold(float, ..)`, and manual float accumulators
+//!    (`let mut acc = 0.0; .. acc += ..`) — in any reachable function.
+//!
+//! A surviving reduction must carry `// lint: allow(float-merge)` with a
+//! justification of why its iteration order is pinned (e.g. the iterator
+//! walks a `BTreeMap`, or `par_map` preserves input order).
+
+use super::Run;
+use crate::report::Finding;
+use crate::tokenizer::{TokKind, Token};
+use crate::tree::ScopeKind;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Function names that start a parallel merge path when referenced.
+const MERGE_ENTRY_CALLS: [&str; 3] = ["par_map", "par_join2", "two_step_grouping_sharded"];
+
+/// Modules whose every function is a merge path by definition.
+const MERGE_MODULES: [&str; 2] = [
+    "crates/bench/src/parallel.rs",
+    "crates/bench/src/sharded.rs",
+];
+
+/// Runs the float-order pass over the whole file set.
+pub fn check(run: &mut Run<'_>, findings: &mut Vec<Finding>) {
+    // Index every non-test fn by name.
+    let mut by_name: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut all_fns: Vec<(usize, usize)> = Vec::new();
+    for (u, unit) in run.units.iter().enumerate() {
+        for (idx, node) in unit.tree.fn_nodes() {
+            if node.is_test {
+                continue;
+            }
+            by_name.entry(node.name.clone()).or_default().push((u, idx));
+            all_fns.push((u, idx));
+        }
+    }
+
+    // Seeds: merge-module fns + fns that invoke a merge entry point.
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    let mut reachable: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for &(u, idx) in &all_fns {
+        let unit = &run.units[u];
+        let in_merge_module = MERGE_MODULES.iter().any(|m| unit.path.ends_with(m));
+        let node = &unit.tree.nodes[idx];
+        let calls_entry = tokens_in(unit, node.tokens)
+            .any(|(_, t)| t.kind == TokKind::Ident && MERGE_ENTRY_CALLS.contains(&t.text.as_str()));
+        if (in_merge_module || calls_entry) && reachable.insert((u, idx)) {
+            queue.push_back((u, idx));
+        }
+    }
+
+    // BFS over the name-based call graph.
+    while let Some((u, idx)) = queue.pop_front() {
+        let unit = &run.units[u];
+        let node = &unit.tree.nodes[idx];
+        let toks = &unit.lexed.tokens;
+        for (i, t) in tokens_in(unit, node.tokens) {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let next = toks.get(i + 1).map(|t| t.text.as_str());
+            let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+            let callish = next == Some("(") || prev.map(|t| t.text.as_str()) == Some("::");
+            if !callish {
+                continue;
+            }
+            if let Some(defs) = by_name.get(&t.text) {
+                for &target in defs {
+                    if reachable.insert(target) {
+                        queue.push_back(target);
+                    }
+                }
+            }
+        }
+    }
+
+    // Flag float reductions in reachable fns. Tokens belonging to nested
+    // named scopes are skipped — the nested item is flagged on its own if
+    // it is itself reachable.
+    for &(u, idx) in &all_fns {
+        if !reachable.contains(&(u, idx)) {
+            continue;
+        }
+        let sites = reduction_sites(&run.units[u], idx);
+        for (line, column, what) in sites {
+            if run.units[u].lexed.tokens.is_empty() {
+                continue;
+            }
+            if run.allowed(u, "float-merge", line) {
+                continue;
+            }
+            let scope_path = run.units[u].tree.path(idx);
+            let message = format!(
+                "{what} on a parallel merge path: float addition is not associative, so \
+                 the iteration order must be pinned — restructure, or annotate with \
+                 `// lint: allow(float-merge)` and a note stating why the order is pinned"
+            );
+            findings.push(run.finding(u, "L7", line, column, scope_path, message));
+        }
+    }
+}
+
+/// Iterates `(index, token)` over a node's direct token range.
+fn tokens_in<'a>(
+    unit: &'a super::FileUnit<'_>,
+    range: (usize, usize),
+) -> impl Iterator<Item = (usize, &'a Token)> {
+    let (start, end) = range;
+    unit.lexed
+        .tokens
+        .iter()
+        .enumerate()
+        .skip(start)
+        .take_while(move |(i, _)| *i <= end)
+}
+
+/// Finds float-reduction sites directly inside fn node `idx` (nested
+/// named scopes excluded): `(line, column, description)`.
+fn reduction_sites(unit: &super::FileUnit<'_>, idx: usize) -> Vec<(usize, usize, String)> {
+    let node = &unit.tree.nodes[idx];
+    debug_assert_eq!(node.kind, ScopeKind::Fn);
+    let toks = &unit.lexed.tokens;
+    let (start, end) = node.tokens;
+    let direct = |i: usize| unit.tree.scope_of(i) == idx;
+
+    // Pass 1: manual float accumulators declared in this fn.
+    let mut accumulators: BTreeSet<&str> = BTreeSet::new();
+    let mut i = start;
+    while i + 3 <= end {
+        if !direct(i) || toks[i].text != "let" || toks[i + 1].text != "mut" {
+            i += 1;
+            continue;
+        }
+        let name_tok = &toks[i + 2];
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // `let mut x = <float>` or `let mut x: f64 = ..`.
+        let mut j = i + 3;
+        let typed_float = toks.get(j).map(|t| t.text.as_str()) == Some(":")
+            && toks.get(j + 1).map(|t| t.text == "f64" || t.text == "f32") == Some(true);
+        if typed_float {
+            accumulators.insert(name_tok.text.as_str());
+            i += 1;
+            continue;
+        }
+        if toks.get(j).map(|t| t.text.as_str()) == Some("=") {
+            j += 1;
+            if toks.get(j).map(|t| t.text.as_str()) == Some("-") {
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.is_float_literal()) == Some(true) {
+                accumulators.insert(name_tok.text.as_str());
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: reduction sites.
+    let mut sites = Vec::new();
+    for i in start..=end.min(toks.len().saturating_sub(1)) {
+        if !direct(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        // `.sum::<f64>()` / `.product::<f32>()`.
+        if (t.text == "sum" || t.text == "product")
+            && prev == Some(".")
+            && next == Some("::")
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some("<")
+            && toks.get(i + 3).map(|t| t.text == "f64" || t.text == "f32") == Some(true)
+        {
+            let ty = &toks[i + 3].text;
+            sites.push((
+                t.line,
+                t.column,
+                format!("`.{}::<{}>()` reduction", t.text, ty),
+            ));
+            continue;
+        }
+        // `.fold(<float literal or f64::CONST>, ..)`.
+        if t.text == "fold" && prev == Some(".") && next == Some("(") {
+            let mut depth = 0usize;
+            let mut float_init = false;
+            for tok in &toks[(i + 1)..=end.min(toks.len().saturating_sub(1))] {
+                match tok.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "," if depth == 1 => break,
+                    _ => {
+                        if tok.is_float_literal() || tok.text == "f64" || tok.text == "f32" {
+                            float_init = true;
+                        }
+                    }
+                }
+            }
+            if float_init {
+                sites.push((t.line, t.column, "`.fold(..)` float reduction".to_string()));
+            }
+            continue;
+        }
+        // Compound assignment to a manual float accumulator.
+        if accumulators.contains(t.text.as_str())
+            && matches!(next, Some("+") | Some("-") | Some("*") | Some("/"))
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some("=")
+        {
+            sites.push((
+                t.line,
+                t.column,
+                format!("manual float accumulation into `{}`", t.text),
+            ));
+        }
+    }
+    sites
+}

@@ -1,0 +1,118 @@
+//! L1–L5: the lexical determinism & robustness rules, migrated onto the
+//! scope tree (test exemption is structural: any token inside a
+//! `#[cfg(test)]` / `#[test]` subtree is skipped, and every finding
+//! carries its scope path).
+
+use super::Run;
+use crate::config::CrateScope;
+use crate::report::Finding;
+use crate::tokenizer::TokKind;
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Runs L1–L5 over one file.
+pub fn check(run: &mut Run<'_>, u: usize, findings: &mut Vec<Finding>) {
+    let scope = run.units[u].scope;
+    let is_parallel_module = run.units[u].path.ends_with("crates/bench/src/parallel.rs")
+        || run.units[u].path == "crates/bench/src/parallel.rs";
+    let n = run.units[u].lexed.tokens.len();
+
+    for i in 0..n {
+        // Copy the token context out before calling `run.allowed` (which
+        // borrows the run mutably to fill the L8 consumption ledger).
+        let (name, line, column, scope_path, prev_text, next_text) = {
+            let unit = &run.units[u];
+            let toks = &unit.lexed.tokens;
+            let tok = &toks[i];
+            if tok.kind != TokKind::Ident || unit.tree.is_test_token(i) {
+                continue;
+            }
+            (
+                tok.text.clone(),
+                tok.line,
+                tok.column,
+                unit.tree.path_of_token(i),
+                i.checked_sub(1).map(|p| toks[p].text.clone()),
+                toks.get(i + 1).map(|t| t.text.clone()),
+            )
+        };
+        let prev_text = prev_text.as_deref();
+        let next_text = next_text.as_deref();
+
+        // L1: randomized iteration order.
+        if (name == "HashMap" || name == "HashSet") && !run.allowed(u, "unordered", line) {
+            let message = format!(
+                "{name} has a randomized iteration order that breaks replay determinism; \
+                 use BTreeMap/BTreeSet (or annotate membership-only use with \
+                 `// lint: allow(unordered)`)"
+            );
+            findings.push(run.finding(u, "L1", line, column, scope_path.clone(), message));
+        }
+
+        // L2: ambient nondeterminism in deterministic crates.
+        if matches!(
+            scope,
+            CrateScope::Core | CrateScope::Sim | CrateScope::Workload
+        ) && matches!(
+            name.as_str(),
+            "Instant" | "SystemTime" | "thread_rng" | "from_entropy"
+        ) && !run.allowed(u, "ambient", line)
+        {
+            let message = format!(
+                "{name} reads ambient wall-clock/entropy state; deterministic crates must \
+                 take time from SimTime and randomness from seeded DetRng"
+            );
+            findings.push(run.finding(u, "L2", line, column, scope_path.clone(), message));
+        }
+
+        // L3: ad-hoc threading outside the blessed executor.
+        if name == "spawn" && !is_parallel_module && !run.allowed(u, "thread-spawn", line) {
+            let message = "thread spawning outside thrifty_bench::parallel bypasses the \
+                           deterministic fork-join executor"
+                .to_string();
+            findings.push(run.finding(u, "L3", line, column, scope_path.clone(), message));
+        }
+
+        // L4: panicking APIs in core/sim/workload library code.
+        if matches!(
+            scope,
+            CrateScope::Core | CrateScope::Sim | CrateScope::Workload
+        ) {
+            let method_call =
+                |m: &str| name == m && prev_text == Some(".") && next_text == Some("(");
+            let macro_call = |m: &str| name == m && next_text == Some("!");
+            if method_call("unwrap") || method_call("expect") {
+                if !run.allowed(u, "panic", line) {
+                    let message = format!(
+                        ".{name}() can panic in library code; route the failure through \
+                         ThriftyError/SimError instead"
+                    );
+                    findings.push(run.finding(u, "L4", line, column, scope_path.clone(), message));
+                }
+            } else if (macro_call("panic") || macro_call("unreachable") || macro_call("todo"))
+                && !run.allowed(u, "panic", line)
+            {
+                let message = format!(
+                    "{name}! aborts the caller; library code must return \
+                     ThriftyError/SimError instead"
+                );
+                findings.push(run.finding(u, "L4", line, column, scope_path.clone(), message));
+            }
+        }
+
+        // L5: bare integer casts in the simulator.
+        if scope == CrateScope::Sim && name == "as" {
+            let next_int = next_text.map(|t| INT_TYPES.contains(&t)) == Some(true);
+            if next_int && !run.allowed(u, "cast", line) {
+                let target = next_text.unwrap_or_default().to_string();
+                let message = format!(
+                    "bare `as {target}` cast can truncate silently; use the checked helpers \
+                     in mppdb_sim::convert (or annotate with `// lint: allow(cast)`)"
+                );
+                findings.push(run.finding(u, "L5", line, column, scope_path, message));
+            }
+        }
+    }
+}

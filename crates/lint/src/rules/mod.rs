@@ -1,0 +1,133 @@
+//! The rule passes and the shared per-file analysis unit.
+//!
+//! Per-file rules (L1–L5 lexical, L9 error-docs) see one [`FileUnit`];
+//! tree-wide rules (L6 layering, L7 float-order) see the whole set; the
+//! L8 allow-audit runs last over the allow-consumption ledger the other
+//! passes filled in. All passes share one tokenization and one scope
+//! tree per file.
+
+pub mod allow_audit;
+pub mod error_docs;
+pub mod float_order;
+pub mod layering;
+pub mod lexical;
+
+use crate::config::{crate_scope, module_path, CrateScope, LayeringContract};
+use crate::report::{sort_findings, Finding};
+use crate::tokenizer::{lex, Lexed};
+use crate::tree::{self, ScopeTree};
+use std::collections::BTreeSet;
+
+/// One file's shared analysis state: tokens, allow sites, scope tree.
+pub struct FileUnit<'a> {
+    /// Normalized (forward-slash) path, used for reporting and scoping.
+    pub path: String,
+    /// Source lines, for snippets.
+    pub lines: Vec<&'a str>,
+    /// Lexer output.
+    pub lexed: Lexed,
+    /// Brace-tree scopes.
+    pub tree: ScopeTree,
+    /// Owning workspace crate.
+    pub scope: CrateScope,
+    /// Module path (`core::reconsolidation`).
+    pub module: String,
+}
+
+impl<'a> FileUnit<'a> {
+    fn build(path: &str, source: &'a str) -> FileUnit<'a> {
+        let norm = path.replace('\\', "/");
+        let lexed = lex(source);
+        let module = module_path(&norm);
+        let tree = tree::build(&lexed.tokens, &module);
+        FileUnit {
+            path: norm.clone(),
+            lines: source.lines().collect(),
+            lexed,
+            tree,
+            scope: crate_scope(&norm),
+            module,
+        }
+    }
+
+    /// The trimmed source line for a finding snippet.
+    pub fn snippet(&self, line: usize) -> String {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// A whole lint run: the file units plus the allow-consumption ledger.
+pub struct Run<'a> {
+    /// Per-file analysis units.
+    pub units: Vec<FileUnit<'a>>,
+    /// `(unit index, allow index)` pairs consumed by some rule.
+    pub used_allows: BTreeSet<(usize, usize)>,
+}
+
+impl<'a> Run<'a> {
+    /// Builds the per-file units.
+    pub fn new(files: &[(&str, &'a str)]) -> Run<'a> {
+        Run {
+            units: files
+                .iter()
+                .map(|(path, source)| FileUnit::build(path, source))
+                .collect(),
+            used_allows: BTreeSet::new(),
+        }
+    }
+
+    /// Is a finding of `key`'s rule at `line` of `unit` suppressed by an
+    /// annotation? An annotation covers its own line and the next line,
+    /// so it can trail the offending expression or sit on the line above
+    /// it. Consumes the annotation for the L8 audit.
+    pub fn allowed(&mut self, unit: usize, key: &str, line: usize) -> bool {
+        let mut hit = false;
+        for (ai, site) in self.units[unit].lexed.allows.iter().enumerate() {
+            if site.key == key && (site.line == line || site.line + 1 == line) {
+                self.used_allows.insert((unit, ai));
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Builds a finding with the snippet and scope path filled in from
+    /// the unit.
+    pub fn finding(
+        &self,
+        unit: usize,
+        rule: &str,
+        line: usize,
+        column: usize,
+        scope: String,
+        message: String,
+    ) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: self.units[unit].path.clone(),
+            line,
+            column,
+            scope,
+            message,
+            snippet: self.units[unit].snippet(line),
+        }
+    }
+}
+
+/// Runs every pass over the file set with the given layering contract.
+pub fn run_all(files: &[(&str, &str)], contract: &LayeringContract) -> Vec<Finding> {
+    let mut run = Run::new(files);
+    let mut findings = Vec::new();
+    for u in 0..run.units.len() {
+        lexical::check(&mut run, u, &mut findings);
+        error_docs::check(&mut run, u, &mut findings);
+    }
+    layering::check(&mut run, contract, &mut findings);
+    float_order::check(&mut run, &mut findings);
+    allow_audit::check(&mut run, &mut findings);
+    sort_findings(&mut findings);
+    findings
+}

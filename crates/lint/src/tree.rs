@@ -1,0 +1,627 @@
+//! Lightweight brace-tree parser: assigns every token a scope path.
+//!
+//! The tree is built from the token stream alone — no rustc, no syn. A
+//! scope is opened by a named item (`mod`, `fn`, `impl`, `struct`, `enum`,
+//! `union`, `trait`) whose body is a brace block; anonymous braces
+//! (blocks, match arms, struct literals, closures) only adjust depth.
+//! Every token is assigned the innermost enclosing scope, so a finding can
+//! report `core::reconsolidation::Reconsolidator::measure_error` instead
+//! of a bare line number, and the rules can exempt `#[cfg(test)]` /
+//! `#[test]` **subtrees** structurally instead of guessing from line
+//! heuristics.
+//!
+//! Per scope node the parser also records what the rules need downstream:
+//! test-subtree membership (inherited), `pub` visibility, and — for `fn`
+//! items — whether the signature's return type mentions a `Result` (the
+//! L9 error-docs pass) plus the anchor line above which its doc comment
+//! block must sit.
+
+use crate::tokenizer::{TokKind, Token};
+
+/// What kind of item opened a scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// The file itself (named after its module path).
+    Root,
+    /// `mod name { .. }`
+    Module,
+    /// `impl Type { .. }` / `impl Trait for Type { .. }` (named after the
+    /// implementing type).
+    Impl,
+    /// `fn name(..) { .. }`
+    Fn,
+    /// `struct` / `enum` / `union` body.
+    Type,
+    /// `trait Name { .. }`
+    Trait,
+}
+
+/// One node of the scope tree.
+#[derive(Clone, Debug)]
+pub struct ScopeNode {
+    /// Item kind.
+    pub kind: ScopeKind,
+    /// Item name (implementing type for `impl` blocks).
+    pub name: String,
+    /// Parent node index; the root is its own parent.
+    pub parent: usize,
+    /// True when this node or any ancestor carries `#[cfg(test)]` /
+    /// `#[test]`.
+    pub is_test: bool,
+    /// True when the item is declared `pub` (any restriction counts).
+    pub is_pub: bool,
+    /// For `fn` nodes: the return type mentions `Result` /
+    /// `ThriftyResult` / `SimResult` / any `*Result` alias.
+    pub returns_result: bool,
+    /// First line of the item (its first attribute or keyword): the line
+    /// a doc comment block must sit directly above.
+    pub anchor_line: usize,
+    /// Line / column of the item's name token, for findings.
+    pub name_line: usize,
+    /// See [`ScopeNode::name_line`].
+    pub name_column: usize,
+    /// Token index range `[start, end]` spanned by the item (header
+    /// included; `end` is the closing brace, or the last token for the
+    /// root).
+    pub tokens: (usize, usize),
+}
+
+/// The scope tree for one file.
+pub struct ScopeTree {
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<ScopeNode>,
+    /// Innermost scope per token index.
+    token_scope: Vec<usize>,
+    /// Statement-level test mask: `#[cfg(test)]` attached to a brace-less
+    /// item (`use`, `mod x;`, …) masks through its semicolon.
+    stmt_test: Vec<bool>,
+}
+
+impl ScopeTree {
+    /// Innermost scope node index for a token.
+    pub fn scope_of(&self, tok: usize) -> usize {
+        self.token_scope.get(tok).copied().unwrap_or(0)
+    }
+
+    /// True when the token lives in test code: a `#[cfg(test)]`/`#[test]`
+    /// subtree or a test-gated brace-less statement.
+    pub fn is_test_token(&self, tok: usize) -> bool {
+        self.stmt_test.get(tok).copied().unwrap_or(false) || self.nodes[self.scope_of(tok)].is_test
+    }
+
+    /// `::`-joined path of a node, root name included.
+    pub fn path(&self, mut node: usize) -> String {
+        let mut parts = Vec::new();
+        loop {
+            parts.push(self.nodes[node].name.as_str());
+            if node == 0 {
+                break;
+            }
+            node = self.nodes[node].parent;
+        }
+        parts.reverse();
+        parts.join("::")
+    }
+
+    /// Path of the scope enclosing a token.
+    pub fn path_of_token(&self, tok: usize) -> String {
+        self.path(self.scope_of(tok))
+    }
+
+    /// Iterates `fn` nodes (index + node).
+    pub fn fn_nodes(&self) -> impl Iterator<Item = (usize, &ScopeNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == ScopeKind::Fn)
+    }
+}
+
+/// Does `#` at index `i` start `#[cfg(test)]` or `#[test]`?
+fn is_test_attr(tokens: &[Token], i: usize) -> bool {
+    if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+        return false;
+    }
+    match tokens.get(i + 2).map(|t| t.text.as_str()) {
+        Some("test") => tokens.get(i + 3).map(|t| t.text.as_str()) == Some("]"),
+        Some("cfg") => {
+            tokens.get(i + 3).map(|t| t.text.as_str()) == Some("(")
+                && tokens.get(i + 4).map(|t| t.text.as_str()) == Some("test")
+                && tokens.get(i + 5).map(|t| t.text.as_str()) == Some(")")
+        }
+        _ => false,
+    }
+}
+
+/// Given the index of an opening delimiter, returns the index of its
+/// matching closer (falls back to the last token on imbalance).
+fn close_delim(tokens: &[Token], open: usize, open_s: &str, close_s: &str) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = tokens[j].text.as_str();
+        if t == open_s {
+            depth += 1;
+        } else if t == close_s {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Item-header scan result: where the body starts (if any) and what the
+/// signature said.
+struct Header {
+    /// Index of the opening `{`, or `None` for brace-less items
+    /// (`mod x;`, trait method declarations, tuple structs).
+    body_open: Option<usize>,
+    /// Index just past the header (past `{` or past `;`).
+    resume: usize,
+    /// Scope name derived from the header.
+    name: String,
+    /// Name token index (for finding positions).
+    name_tok: Option<usize>,
+    /// `fn` only: return type mentions a Result alias.
+    returns_result: bool,
+}
+
+/// Scans an item header from the keyword at `kw` to its body `{` or
+/// terminating `;`, tracking paren/bracket depth so parameter-position
+/// braces or semicolons cannot fool it.
+fn scan_header(tokens: &[Token], kw: usize) -> Header {
+    let kind = tokens[kw].text.as_str();
+    let mut name = String::new();
+    let mut name_tok = None;
+    let mut returns_result = false;
+
+    // `mod` / `fn` / `struct` / `enum` / `union` / `trait`: the name is
+    // the next identifier. `impl` derives its name below.
+    if kind != "impl" {
+        if let Some(t) = tokens.get(kw + 1) {
+            if t.kind == TokKind::Ident {
+                name = t.text.clone();
+                name_tok = Some(kw + 1);
+            }
+        }
+    }
+
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    let mut angle = 0usize;
+    let mut in_return = false;
+    let mut saw_for = false;
+    let mut impl_name: Option<(String, usize)> = None;
+    let mut impl_name_after_for: Option<(String, usize)> = None;
+    let mut j = kw + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren = paren.saturating_sub(1),
+            "[" => bracket += 1,
+            "]" => bracket = bracket.saturating_sub(1),
+            "<" => angle += 1,
+            ">" => {
+                // `->` is a return arrow, not an angle close.
+                if j > 0 && tokens[j - 1].text == "-" {
+                    if paren == 0 && bracket == 0 {
+                        in_return = true;
+                    }
+                } else {
+                    angle = angle.saturating_sub(1);
+                }
+            }
+            "{" if paren == 0 && bracket == 0 => {
+                return Header {
+                    body_open: Some(j),
+                    resume: j + 1,
+                    name: finish_name(kind, name, &mut impl_name, &mut impl_name_after_for),
+                    name_tok,
+                    returns_result,
+                };
+            }
+            ";" if paren == 0 && bracket == 0 => {
+                return Header {
+                    body_open: None,
+                    resume: j + 1,
+                    name: finish_name(kind, name, &mut impl_name, &mut impl_name_after_for),
+                    name_tok,
+                    returns_result,
+                };
+            }
+            "for" if kind == "impl" && angle == 0 => saw_for = true,
+            _ => {
+                if t.kind == TokKind::Ident {
+                    if in_return && (t.text == "Result" || t.text.ends_with("Result")) {
+                        returns_result = true;
+                    }
+                    if kind == "impl" && angle == 0 && t.text != "dyn" {
+                        if saw_for {
+                            impl_name_after_for.get_or_insert((t.text.clone(), j));
+                        } else {
+                            impl_name.get_or_insert((t.text.clone(), j));
+                        }
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    Header {
+        body_open: None,
+        resume: tokens.len(),
+        name: finish_name(kind, name, &mut impl_name, &mut impl_name_after_for),
+        name_tok,
+        returns_result,
+    }
+}
+
+fn finish_name(
+    kind: &str,
+    name: String,
+    impl_name: &mut Option<(String, usize)>,
+    impl_name_after_for: &mut Option<(String, usize)>,
+) -> String {
+    if kind == "impl" {
+        if let Some((n, _)) = impl_name_after_for.take() {
+            return n;
+        }
+        if let Some((n, _)) = impl_name.take() {
+            return n;
+        }
+        return "impl".to_string();
+    }
+    if name.is_empty() {
+        kind.to_string()
+    } else {
+        name
+    }
+}
+
+/// Tokens that keep the parser in item position (modifiers that may
+/// precede an item keyword).
+fn keeps_item_position(text: &str) -> bool {
+    matches!(
+        text,
+        "pub" | "unsafe" | "const" | "async" | "extern" | "default"
+    )
+}
+
+/// Builds the scope tree for one file. `root_name` is the file's module
+/// path (e.g. `core::reconsolidation`).
+pub fn build(tokens: &[Token], root_name: &str) -> ScopeTree {
+    let mut nodes = vec![ScopeNode {
+        kind: ScopeKind::Root,
+        name: root_name.to_string(),
+        parent: 0,
+        is_test: false,
+        is_pub: true,
+        returns_result: false,
+        anchor_line: 1,
+        name_line: 1,
+        name_column: 1,
+        tokens: (0, tokens.len().saturating_sub(1)),
+    }];
+    let mut token_scope = vec![0usize; tokens.len()];
+    let mut stmt_test = vec![false; tokens.len()];
+    // (node index, brace depth at which the node's body opened)
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+
+    let mut item_pos = true;
+    let mut pending_test = false;
+    let mut pending_pub = false;
+    let mut pending_anchor: Option<usize> = None;
+    let mut pending_attr_range: Option<(usize, usize)> = None;
+    let mut masking_stmt = false;
+
+    macro_rules! clear_pending {
+        () => {{
+            pending_test = false;
+            pending_pub = false;
+            pending_anchor = None;
+            pending_attr_range = None;
+        }};
+    }
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let cur = stack.last().map(|&(n, _)| n).unwrap_or(0);
+        token_scope[i] = cur;
+        if masking_stmt {
+            stmt_test[i] = true;
+        }
+        let text = tokens[i].text.as_str();
+
+        // Attributes: outer `#[..]` at item position collect into the
+        // pending set; inner `#![..]` are skipped wholesale.
+        if text == "#" {
+            if tokens.get(i + 1).map(|t| t.text.as_str()) == Some("[") && item_pos {
+                if pending_anchor.is_none() {
+                    pending_anchor = Some(tokens[i].line);
+                }
+                if is_test_attr(tokens, i) {
+                    pending_test = true;
+                }
+                let end = close_delim(tokens, i + 1, "[", "]");
+                let start = pending_attr_range.map(|(s, _)| s).unwrap_or(i);
+                pending_attr_range = Some((start, end));
+                for j in i..=end {
+                    token_scope[j] = cur;
+                    if masking_stmt {
+                        stmt_test[j] = true;
+                    }
+                }
+                i = end + 1;
+                continue;
+            }
+            if tokens.get(i + 1).map(|t| t.text.as_str()) == Some("!")
+                && tokens.get(i + 2).map(|t| t.text.as_str()) == Some("[")
+            {
+                let end = close_delim(tokens, i + 2, "[", "]");
+                token_scope[i..=end].fill(cur);
+                i = end + 1;
+                continue;
+            }
+        }
+
+        match text {
+            "pub" if item_pos => {
+                if pending_anchor.is_none() {
+                    pending_anchor = Some(tokens[i].line);
+                }
+                pending_pub = true;
+                // Skip a `pub(crate)` / `pub(in ..)` restriction.
+                if tokens.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
+                    let end = close_delim(tokens, i + 1, "(", ")");
+                    token_scope[i..=end].fill(cur);
+                    i = end + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            _ if item_pos && keeps_item_position(text) => {
+                if pending_anchor.is_none() {
+                    pending_anchor = Some(tokens[i].line);
+                }
+                i += 1;
+            }
+            "mod" | "fn" | "impl" | "struct" | "enum" | "union" | "trait" if item_pos => {
+                let header = scan_header(tokens, i);
+                let kind = match text {
+                    "mod" => ScopeKind::Module,
+                    "fn" => ScopeKind::Fn,
+                    "impl" => ScopeKind::Impl,
+                    "trait" => ScopeKind::Trait,
+                    _ => ScopeKind::Type,
+                };
+                let is_test = pending_test || nodes[cur].is_test;
+                let (name_line, name_column) = header
+                    .name_tok
+                    .map(|t| (tokens[t].line, tokens[t].column))
+                    .unwrap_or((tokens[i].line, tokens[i].column));
+                match header.body_open {
+                    Some(open) => {
+                        let node = nodes.len();
+                        nodes.push(ScopeNode {
+                            kind,
+                            name: header.name,
+                            parent: cur,
+                            is_test,
+                            is_pub: pending_pub,
+                            returns_result: header.returns_result,
+                            anchor_line: pending_anchor.unwrap_or(tokens[i].line),
+                            name_line,
+                            name_column,
+                            tokens: (pending_attr_range.map(|(s, _)| s).unwrap_or(i), open),
+                        });
+                        // Header tokens (attributes included) belong to
+                        // the new scope.
+                        let hdr_start = pending_attr_range.map(|(s, _)| s).unwrap_or(i);
+                        token_scope[hdr_start..=open].fill(node);
+                        stack.push((node, depth));
+                        depth += 1;
+                        i = header.resume;
+                    }
+                    None => {
+                        // Brace-less item (`mod x;`, trait method decl,
+                        // tuple struct): no scope, but a pending test
+                        // attribute masks it.
+                        if is_test {
+                            let start = pending_attr_range.map(|(s, _)| s).unwrap_or(i);
+                            for j in start..header.resume.min(stmt_test.len()) {
+                                stmt_test[j] = true;
+                            }
+                        }
+                        i = header.resume;
+                    }
+                }
+                clear_pending!();
+                item_pos = true;
+            }
+            "{" => {
+                depth += 1;
+                item_pos = true;
+                clear_pending!();
+                i += 1;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if let Some(&(node, open_depth)) = stack.last() {
+                    if open_depth == depth {
+                        nodes[node].tokens.1 = i;
+                        stack.pop();
+                    }
+                }
+                item_pos = true;
+                clear_pending!();
+                i += 1;
+            }
+            ";" => {
+                item_pos = true;
+                masking_stmt = false;
+                clear_pending!();
+                i += 1;
+            }
+            _ => {
+                // A test attribute attached to a brace-less statement
+                // (`#[cfg(test)] use ..;`) masks through the semicolon.
+                if pending_test {
+                    masking_stmt = true;
+                    if let Some((s, e)) = pending_attr_range {
+                        stmt_test[s..=e].fill(true);
+                    }
+                    stmt_test[i] = true;
+                }
+                item_pos = false;
+                clear_pending!();
+                i += 1;
+            }
+        }
+    }
+
+    ScopeTree {
+        nodes,
+        token_scope,
+        stmt_test,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::lex;
+
+    fn tree_of(src: &str) -> (Vec<crate::tokenizer::Token>, ScopeTree) {
+        let lexed = lex(src);
+        let tree = build(&lexed.tokens, "core::example");
+        (lexed.tokens, tree)
+    }
+
+    fn scope_at(tokens: &[crate::tokenizer::Token], tree: &ScopeTree, ident: &str) -> String {
+        let idx = tokens
+            .iter()
+            .position(|t| t.text == ident)
+            .expect("marker present");
+        tree.path_of_token(idx)
+    }
+
+    #[test]
+    fn scopes_nest_through_mod_impl_fn() {
+        let src = r#"
+            mod inner {
+                struct Widget { count: u32 }
+                impl Widget {
+                    pub fn observe(&self) -> u32 { marker_a }
+                }
+                fn helper() { marker_b }
+            }
+            fn top() { marker_c }
+        "#;
+        let (tokens, tree) = tree_of(src);
+        assert_eq!(
+            scope_at(&tokens, &tree, "marker_a"),
+            "core::example::inner::Widget::observe"
+        );
+        assert_eq!(
+            scope_at(&tokens, &tree, "marker_b"),
+            "core::example::inner::helper"
+        );
+        assert_eq!(scope_at(&tokens, &tree, "marker_c"), "core::example::top");
+    }
+
+    #[test]
+    fn impl_trait_for_type_is_named_after_the_type() {
+        let src = "impl Iterator for Wakeup { fn next(&mut self) { marker } }";
+        let (tokens, tree) = tree_of(src);
+        assert_eq!(
+            scope_at(&tokens, &tree, "marker"),
+            "core::example::Wakeup::next"
+        );
+    }
+
+    #[test]
+    fn cfg_test_subtrees_are_marked() {
+        let src = r#"
+            fn lib_code() { real }
+            #[cfg(test)]
+            mod tests {
+                fn util() { masked_a }
+                #[test]
+                fn t() { masked_b }
+            }
+        "#;
+        let (tokens, tree) = tree_of(src);
+        for (i, t) in tokens.iter().enumerate() {
+            match t.text.as_str() {
+                "real" => assert!(!tree.is_test_token(i)),
+                "masked_a" | "masked_b" => assert!(tree.is_test_token(i), "{}", t.text),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn test_gated_braceless_statements_are_masked() {
+        let src = "#[cfg(test)]\nuse other_crate::Thing;\nuse kept::Path;\n";
+        let (tokens, tree) = tree_of(src);
+        let masked = tokens
+            .iter()
+            .position(|t| t.text == "other_crate")
+            .expect("present");
+        let kept = tokens
+            .iter()
+            .position(|t| t.text == "kept")
+            .expect("present");
+        assert!(tree.is_test_token(masked));
+        assert!(!tree.is_test_token(kept));
+    }
+
+    #[test]
+    fn fn_signatures_record_pub_and_result() {
+        let src = r#"
+            /// Docs.
+            pub fn fallible() -> Result<u32, String> { Ok(1) }
+            pub fn multi_line(
+                a: u32,
+            ) -> ThriftyResult<()> { Ok(()) }
+            fn private_ok() -> Result<(), ()> { Ok(()) }
+            pub fn infallible(cb: impl Fn() -> Result<u8, u8>) -> u32 { 0 }
+        "#;
+        let (_, tree) = tree_of(src);
+        let by_name = |n: &str| {
+            tree.fn_nodes()
+                .find(|(_, node)| node.name == n)
+                .map(|(_, node)| node.clone())
+                .expect("fn present")
+        };
+        assert!(by_name("fallible").is_pub && by_name("fallible").returns_result);
+        assert!(by_name("multi_line").returns_result);
+        assert!(!by_name("private_ok").is_pub);
+        assert!(
+            !by_name("infallible").returns_result,
+            "a Result in parameter position is not a Result return"
+        );
+    }
+
+    #[test]
+    fn anonymous_braces_do_not_open_scopes() {
+        let src = r#"
+            fn f() {
+                let s = Widget { count: 1 };
+                match s.count {
+                    1 => { marker_arm }
+                    _ => {}
+                }
+                { marker_block }
+            }
+        "#;
+        let (tokens, tree) = tree_of(src);
+        assert_eq!(scope_at(&tokens, &tree, "marker_arm"), "core::example::f");
+        assert_eq!(scope_at(&tokens, &tree, "marker_block"), "core::example::f");
+    }
+}

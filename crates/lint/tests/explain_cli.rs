@@ -1,0 +1,64 @@
+//! Integration test for `thrifty-lint --explain`: every rule explains
+//! itself (by id and by allow key), and an unknown rule is a usage error.
+
+use std::process::Command;
+
+fn explain(query: &str) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_thrifty-lint"))
+        .args(["--explain", query])
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn every_rule_explains_itself_by_id_and_allow_key() {
+    let rules = [
+        ("L1", "unordered"),
+        ("L2", "ambient"),
+        ("L3", "thread-spawn"),
+        ("L4", "panic"),
+        ("L5", "cast"),
+        ("L6", "layering"),
+        ("L7", "float-merge"),
+        ("L8", "stale-allow"),
+        ("L9", "error-docs"),
+    ];
+    for (id, key) in rules {
+        let (ok, stdout, stderr) = explain(id);
+        assert!(ok, "--explain {id} failed: {stderr}");
+        assert!(stdout.contains(id), "{id}: missing rule id\n{stdout}");
+        assert!(
+            stdout.contains(key),
+            "{id}: rationale must name the allow key {key}\n{stdout}"
+        );
+
+        // The allow key is an equivalent query, case-insensitively.
+        let (ok, by_key, _) = explain(key);
+        assert!(ok, "--explain {key} failed");
+        assert_eq!(by_key, stdout, "{id} vs {key}");
+        let (ok, by_lower, _) = explain(&id.to_lowercase());
+        assert!(ok, "--explain {} failed", id.to_lowercase());
+        assert_eq!(by_lower, stdout);
+    }
+}
+
+#[test]
+fn unknown_rules_are_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_thrifty-lint"))
+        .args(["--explain", "L42"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rule"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_thrifty-lint"))
+        .arg("--explain")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "--explain with no operand");
+}

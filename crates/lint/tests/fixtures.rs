@@ -140,6 +140,126 @@ fn l5_fires_on_bare_integer_casts_in_sim_only() {
 }
 
 #[test]
+fn l6_rejects_a_core_to_bench_edge() {
+    let fired = lint_fixture(
+        include_str!("../fixtures/l6_fires.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert_eq!(rules(&fired), vec!["L6"], "{fired:?}");
+    assert!(fired[0].message.contains("must not depend on `bench`"));
+
+    // The same import is legal from the bench crate itself (self-edge).
+    assert!(lint_fixture(
+        include_str!("../fixtures/l6_fires.rs"),
+        "crates/bench/src/fixture.rs"
+    )
+    .is_empty());
+
+    let clean = lint_fixture(
+        include_str!("../fixtures/l6_clean.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_fixture(
+        include_str!("../fixtures/l6_allowed.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn l6_rejects_a_crate_cycle() {
+    // A two-file set whose imports form sim -> workload -> sim. The
+    // workload -> sim edge is in the contract; the sim -> workload edge is
+    // annotated away — the cycle must still be called out, because a
+    // per-edge exception cannot waive graph acyclicity.
+    let sim =
+        "// lint: allow(layering)\nuse thrifty_workload::library::QueryLibrary;\npub fn f() {}\n";
+    let workload = "use mppdb_sim::time::SimTime;\npub fn g() {}\n";
+    let findings = thrifty_lint::lint_sources(&[
+        ("crates/sim/src/fixture.rs", sim),
+        ("crates/workload/src/fixture.rs", workload),
+    ]);
+    assert_eq!(rules(&findings), vec!["L6"], "{findings:?}");
+    assert!(
+        findings[0].message.contains("cycle"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn l7_fires_on_unpinned_float_merges() {
+    let fired = lint_fixture(
+        include_str!("../fixtures/l7_fires.rs"),
+        "crates/bench/src/fixture.rs",
+    );
+    assert!(fired.len() >= 2, "sum + manual accumulator: {fired:?}");
+    assert!(rules(&fired).iter().all(|r| *r == "L7"), "{fired:?}");
+
+    let clean = lint_fixture(
+        include_str!("../fixtures/l7_clean.rs"),
+        "crates/bench/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_fixture(
+        include_str!("../fixtures/l7_allowed.rs"),
+        "crates/bench/src/fixture.rs",
+    );
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn l8_fires_on_annotations_that_suppress_nothing() {
+    let fired = lint_fixture(
+        include_str!("../fixtures/l8_fires.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert_eq!(rules(&fired), vec!["L8", "L8"], "{fired:?}");
+    assert!(fired
+        .iter()
+        .any(|f| f.message.contains("suppresses nothing")));
+    assert!(fired.iter().any(|f| f.message.contains("names no rule")));
+
+    let clean = lint_fixture(
+        include_str!("../fixtures/l8_clean.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_fixture(
+        include_str!("../fixtures/l8_allowed.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn l9_fires_on_undocumented_fallible_apis() {
+    let src = include_str!("../fixtures/l9_fires.rs");
+    let fired = lint_fixture(src, "crates/core/src/fixture.rs");
+    assert_eq!(rules(&fired), vec!["L9"], "{fired:?}");
+    assert!(fired[0].message.contains("# Errors"));
+
+    // Bench/workload code is outside the error-docs contract.
+    assert!(lint_fixture(src, "crates/bench/src/fixture.rs").is_empty());
+
+    let clean = lint_fixture(
+        include_str!("../fixtures/l9_clean.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_fixture(
+        include_str!("../fixtures/l9_allowed.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
 fn findings_round_trip_through_json() {
     let findings = lint_fixture(
         include_str!("../fixtures/l5_fires.rs"),
@@ -152,17 +272,20 @@ fn findings_round_trip_through_json() {
     let json = render_json(&report);
     let back: LintReport = serde_json::from_str(&json).expect("valid JSON");
     assert_eq!(back, report);
-    // The machine format carries everything the text format prints.
+    // The machine format carries everything the text format prints,
+    // including the PR 9 scope path.
     for f in &report.findings {
         assert!(json.contains(&f.rule));
         assert!(json.contains(&f.snippet));
+        assert!(!f.scope.is_empty());
+        assert!(json.contains(&f.scope));
     }
 }
 
 #[test]
 fn every_rule_has_a_firing_fixture() {
     // Belt and braces for the acceptance criterion: enumerate the firing
-    // fixtures and check the union of rules is exactly L1..L5.
+    // fixtures and check the union of rules is exactly L1..L9.
     let cases = [
         (
             include_str!("../fixtures/l1_fires.rs"),
@@ -184,6 +307,22 @@ fn every_rule_has_a_firing_fixture() {
             include_str!("../fixtures/l5_fires.rs"),
             "crates/sim/src/f.rs",
         ),
+        (
+            include_str!("../fixtures/l6_fires.rs"),
+            "crates/core/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/l7_fires.rs"),
+            "crates/bench/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/l8_fires.rs"),
+            "crates/core/src/f.rs",
+        ),
+        (
+            include_str!("../fixtures/l9_fires.rs"),
+            "crates/core/src/f.rs",
+        ),
     ];
     let mut seen = std::collections::BTreeSet::new();
     for (src, path) in cases {
@@ -191,9 +330,10 @@ fn every_rule_has_a_firing_fixture() {
             seen.insert(f.rule);
         }
     }
-    let want: std::collections::BTreeSet<String> = ["L1", "L2", "L3", "L4", "L5"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let want: std::collections::BTreeSet<String> =
+        ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     assert_eq!(seen, want);
 }

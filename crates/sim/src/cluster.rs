@@ -265,6 +265,9 @@ impl Cluster {
     }
 
     /// Looks up an instance.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownInstance`] when `id` was never provisioned.
     pub fn instance(&self, id: InstanceId) -> SimResult<&MppdbInstance> {
         self.instances
             .get(id.index())
@@ -292,6 +295,10 @@ impl Cluster {
     /// the given `(tenant, data GB)` datasets. Returns the instance id; an
     /// [`SimEvent::InstanceReady`] event fires when start-up and loading
     /// complete (per the Table 5.1 model).
+    ///
+    /// # Errors
+    /// [`SimError::InsufficientNodes`] when `node_count` is zero or
+    /// exceeds the hibernated free pool.
     pub fn provision_instance(
         &mut self,
         node_count: usize,
@@ -341,6 +348,10 @@ impl Cluster {
 
     /// Decommissions an instance, returning its nodes to the hibernated
     /// pool. Any running queries are aborted; their count is returned.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownInstance`] for an unknown instance;
+    /// [`SimError::InstanceDecommissioned`] when it was already retired.
     pub fn decommission(&mut self, id: InstanceId) -> SimResult<usize> {
         let now = self.now;
         let inst = self.instance_mut(id)?;
@@ -372,6 +383,12 @@ impl Cluster {
     /// Submits a query to a ready instance hosting the tenant's data.
     /// Execution follows processor sharing; a
     /// [`SimEvent::QueryCompleted`] fires when it finishes.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownInstance`] / [`SimError::InstanceNotReady`] /
+    /// [`SimError::InstanceDecommissioned`] for an unusable instance, and
+    /// [`SimError::TenantNotHosted`] when the querying tenant's data is
+    /// not loaded there.
     pub fn submit(&mut self, instance: InstanceId, spec: QuerySpec) -> SimResult<QueryId> {
         let now = self.now;
         let id = QueryId(self.next_query);
@@ -415,6 +432,11 @@ impl Cluster {
 
     /// Bulk loads an additional tenant's data onto a ready instance. The
     /// tenant becomes queryable when [`SimEvent::TenantLoaded`] fires.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownInstance`] / [`SimError::InstanceNotReady`] /
+    /// [`SimError::InstanceDecommissioned`] when the instance cannot
+    /// accept a bulk load.
     pub fn load_tenant(
         &mut self,
         instance: InstanceId,
@@ -464,6 +486,11 @@ impl Cluster {
     /// Cancels a running query, returning its spec and original submission
     /// time so the caller can re-route it (e.g. to a freshly scaled-out
     /// MPPDB). No completion event will fire for the cancelled query.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownInstance`] for an unknown instance and
+    /// [`SimError::UnknownQuery`] when the query is not running there
+    /// (it may already have completed).
     pub fn cancel_query(
         &mut self,
         instance: InstanceId,
@@ -489,6 +516,9 @@ impl Cluster {
     }
 
     /// Schedules a node failure at absolute time `at`.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownNode`] when `node` does not exist.
     pub fn inject_node_failure(&mut self, node: NodeId, at: SimTime) -> SimResult<()> {
         if node.index() >= self.nodes.len() {
             return Err(SimError::UnknownNode(node));

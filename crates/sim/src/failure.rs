@@ -46,6 +46,10 @@ impl FailurePlan {
     }
 
     /// Registers every scheduled failure with the cluster.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownNode`](crate::error::SimError::UnknownNode) on
+    /// the first event naming a node the cluster does not have.
     pub fn apply(&self, cluster: &mut Cluster) -> SimResult<()> {
         for &(node, at) in &self.events {
             cluster.inject_node_failure(node, at)?;

@@ -311,6 +311,7 @@ impl MppdbInstance {
             .running
             .iter()
             .map(|q| q.remaining_ms)
+            // lint: allow(float-merge) — min is order-insensitive.
             .fold(f64::INFINITY, f64::min);
         if k == 0 {
             return None;

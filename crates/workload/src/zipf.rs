@@ -31,6 +31,9 @@ impl ZipfSampler {
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for w in weights {
+            // Order pinned: the CDF prefix sum walks ranks 1..=n in a
+            // fixed sequential loop.
+            // lint: allow(float-merge)
             acc += w / total;
             cdf.push(acc);
         }

@@ -10,14 +10,28 @@
 //! cargo run --release -p thrifty-bench --bin fault_fuzz -- --start 1000 --seeds 200
 //! cargo run --release -p thrifty-bench --bin fault_fuzz -- --seeds 16 --threads 4
 //! ```
+//!
+//! `--daemon` switches to the real-time harness mode: each seed's
+//! schedule is replayed both through direct library dispatch and through
+//! a spawned `thriftyd --sim-clock` over its unix socket, and every
+//! answer must be byte-identical (see [`thrifty_bench::daemon_fuzz`]).
+//! Requires a built `thriftyd` binary (`$THRIFTYD_BIN` or a sibling of
+//! this executable):
+//!
+//! ```text
+//! cargo build --release -p thrifty-daemon
+//! cargo run --release -p thrifty-bench --bin fault_fuzz -- --daemon --seeds 8
+//! ```
 
 use std::process::ExitCode;
-use thrifty_bench::{fuzz, parallel};
+use thrifty_bench::{daemon_fuzz, fuzz, parallel};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fault_fuzz [--seeds N] [--start S] [--threads T]\n\
+        "usage: fault_fuzz [--daemon] [--seeds N] [--start S] [--threads T]\n\
          \n\
+         --daemon     replay each schedule through a spawned thriftyd and\n\
+         \x20            byte-compare against direct library dispatch\n\
          --seeds N    number of consecutive seeds to run (default 50)\n\
          --start S    first seed of the range (default 0)\n\
          --threads T  worker threads for the seed sweep (default: auto)"
@@ -26,7 +40,8 @@ fn usage() -> ! {
 }
 
 fn main() -> ExitCode {
-    let mut seeds = 50u64;
+    let mut daemon = false;
+    let mut seeds: Option<u64> = None;
     let mut start = 0u64;
     let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
@@ -38,8 +53,9 @@ fn main() -> ExitCode {
             })
         };
         match arg.as_str() {
+            "--daemon" => daemon = true,
             "--seeds" => match value("--seeds").parse() {
-                Ok(n) => seeds = n,
+                Ok(n) => seeds = Some(n),
                 Err(_) => usage(),
             },
             "--start" => match value("--start").parse() {
@@ -57,16 +73,42 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Daemon mode spawns one thriftyd process per seed, so its default
+    // sweep is smaller than the in-process one.
+    let seeds = seeds.unwrap_or(if daemon { 8 } else { 50 });
+
+    let bin = if daemon {
+        match daemon_fuzz::find_thriftyd() {
+            Some(bin) => Some(bin),
+            None => {
+                eprintln!(
+                    "fault-fuzz: --daemon needs a built thriftyd binary \
+                     (cargo build --release -p thrifty-daemon, or set THRIFTYD_BIN)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
 
     parallel::set_thread_override(threads);
     let t0 = std::time::Instant::now();
-    let failures = fuzz::run_seed_range(start, seeds);
+    let failures = match &bin {
+        Some(bin) => daemon_fuzz::run_daemon_seed_range(start, seeds, bin),
+        None => fuzz::run_seed_range(start, seeds),
+    };
     let elapsed = t0.elapsed();
     parallel::set_thread_override(None);
 
+    let mode = if daemon {
+        "daemon byte-equivalence"
+    } else {
+        "every invariant"
+    };
     if failures.is_empty() {
         println!(
-            "fault-fuzz: {seeds} seeds ({start}..{}) passed every invariant in {:.2?}",
+            "fault-fuzz: {seeds} seeds ({start}..{}) passed {mode} in {:.2?}",
             start + seeds,
             elapsed
         );
@@ -76,7 +118,7 @@ fn main() -> ExitCode {
             eprintln!("FAIL {f}");
         }
         eprintln!(
-            "fault-fuzz: {} invariant violations across {seeds} seeds ({:.2?})",
+            "fault-fuzz: {} violations across {seeds} seeds ({:.2?})",
             failures.len(),
             elapsed
         );

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod daemon_fuzz;
 pub mod experiments;
 pub mod fuzz;
 pub mod parallel;

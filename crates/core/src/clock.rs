@@ -1,0 +1,102 @@
+//! Clock adapter for hosting the service behind a real or simulated
+//! timeline.
+//!
+//! Everything in this crate is clock-free (lint rule L2): the service
+//! advances along an explicit log timeline fed to
+//! [`ThriftyService::advance_log_time`](crate::service::ThriftyService::advance_log_time).
+//! A long-running host — the `thriftyd` control-plane daemon — needs to
+//! decide *where that timeline comes from*: replayed instants in tests and
+//! fuzz harnesses, the wall clock in production. [`ClockSource`] is that
+//! seam. The simulated implementation lives here so every deterministic
+//! consumer (tests, `fault_fuzz --daemon`, the byte-identity suite) shares
+//! one definition; the wall-clock implementation lives in `crates/daemon`,
+//! the only crate permitted to read ambient time.
+//!
+//! A clock source reports **milliseconds elapsed since the host started**,
+//! not absolute log time: the host anchors the stream at the service's
+//! [`log_epoch`](crate::service::ThriftyService::log_epoch) so a daemon
+//! restarted against a warm cluster replays from the deployment instant.
+
+/// A monotone source of elapsed milliseconds driving a service host's
+/// event loop.
+///
+/// Implementations must be monotone: `now_ms` never decreases between
+/// calls. The simulated clock only moves when [`advance`](Self::advance)
+/// is called; a wall clock moves on its own and rejects manual advances.
+pub trait ClockSource {
+    /// Milliseconds elapsed on this clock since it was created.
+    fn now_ms(&mut self) -> u64;
+
+    /// Manually advances the clock by `ms`, returning `true` when the
+    /// clock supports manual advancement (simulated clocks). A wall clock
+    /// returns `false` and ignores the request — callers surface that as
+    /// an operator error rather than silently warping time.
+    fn advance(&mut self, ms: u64) -> bool;
+
+    /// Whether this clock is simulated (deterministic, manually advanced).
+    fn is_simulated(&self) -> bool;
+}
+
+/// The deterministic clock: elapsed time is exactly the sum of explicit
+/// [`advance`](ClockSource::advance) calls.
+///
+/// Used by tests, the determinism suite, and `fault_fuzz --daemon`, where
+/// the schedule itself owns time. Two hosts driven by the same advance
+/// sequence observe byte-identical timelines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimClock {
+    elapsed_ms: u64,
+}
+
+impl SimClock {
+    /// A simulated clock at elapsed time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+}
+
+impl ClockSource for SimClock {
+    fn now_ms(&mut self) -> u64 {
+        self.elapsed_ms
+    }
+
+    fn advance(&mut self, ms: u64) -> bool {
+        self.elapsed_ms = self.elapsed_ms.saturating_add(ms);
+        true
+    }
+
+    fn is_simulated(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_moves_only_on_advance() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        assert_eq!(clock.now_ms(), 0);
+        assert!(clock.advance(250));
+        assert!(clock.advance(750));
+        assert_eq!(clock.now_ms(), 1_000);
+        assert!(clock.is_simulated());
+    }
+
+    #[test]
+    fn sim_clock_advance_saturates() {
+        let mut clock = SimClock::new();
+        assert!(clock.advance(u64::MAX));
+        assert!(clock.advance(1));
+        assert_eq!(clock.now_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn sim_clock_is_usable_as_a_trait_object() {
+        let mut clock: Box<dyn ClockSource> = Box::new(SimClock::new());
+        assert!(clock.advance(5));
+        assert_eq!(clock.now_ms(), 5);
+    }
+}

@@ -66,6 +66,7 @@ pub mod activity;
 pub mod advisor;
 pub mod billing;
 pub mod bursts;
+pub mod clock;
 pub mod design;
 pub mod divergent;
 pub mod error;
@@ -90,6 +91,7 @@ pub mod prelude {
     };
     pub use crate::billing::{Invoice, ProviderEconomics, Tariff, UsageMeter};
     pub use crate::bursts::{Burst, BurstDetector, RecurringBurst};
+    pub use crate::clock::{ClockSource, SimClock};
     pub use crate::design::{DeploymentPlan, TenantGroupPlan};
     pub use crate::divergent::{
         divergent_group_plan, size_divergent_tuning_mppdb, DivergentSizing, TemplateSizing,
@@ -110,8 +112,8 @@ pub mod prelude {
     pub use crate::routing::{QueryRouter, Route, RouteKind};
     pub use crate::scaling::{identify_over_active, ScalingEvent};
     pub use crate::service::{
-        IncomingQuery, ServiceConfig, ServiceConfigBuilder, ServiceReport, ThriftyService,
-        TraceConfig, TtpSample,
+        ConfigDelta, IncomingQuery, KnobChange, RejectedKnob, ServiceConfig, ServiceConfigBuilder,
+        ServiceReport, ThriftyService, TraceConfig, TtpSample,
     };
     pub use crate::sla::{SlaPolicy, SlaRecord, SlaSummary};
     pub use crate::telemetry::{

@@ -96,6 +96,13 @@ impl Default for ServiceConfig {
 }
 
 impl ServiceConfig {
+    /// A builder pre-seeded with this configuration's values — the
+    /// starting point for a hot-reload candidate, which re-runs the same
+    /// [`ServiceConfigBuilder::build`] validation over the edited knobs.
+    pub fn to_builder(&self) -> ServiceConfigBuilder {
+        ServiceConfigBuilder { cfg: self.clone() }
+    }
+
     /// Starts a fluent builder seeded with [`ServiceConfig::default`].
     pub fn builder() -> ServiceConfigBuilder {
         ServiceConfigBuilder::default()
@@ -199,6 +206,55 @@ impl ServiceConfigBuilder {
             ));
         }
         Ok(cfg)
+    }
+}
+
+/// One knob difference observed by a configuration hot-reload diff
+/// (values rendered as text so operators and wire protocols share one
+/// shape).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KnobChange {
+    /// Field name in [`ServiceConfig`].
+    pub knob: String,
+    /// The value currently in force.
+    pub from: String,
+    /// The candidate value.
+    pub to: String,
+}
+
+/// A knob change a hot-reload refused to apply, with the reason it is
+/// deploy-time-only.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RejectedKnob {
+    /// The refused change.
+    pub change: KnobChange,
+    /// Why the knob cannot change on a live service.
+    pub reason: String,
+}
+
+/// The outcome of [`ThriftyService::apply_config`]: which knob changes
+/// were applied live and which were rejected as deploy-time-only.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfigDelta {
+    /// Changes applied to the running service.
+    pub applied: Vec<KnobChange>,
+    /// Changes refused (the running value stays in force).
+    pub rejected: Vec<RejectedKnob>,
+}
+
+impl ConfigDelta {
+    /// Whether the candidate configuration differed at all.
+    pub fn is_noop(&self) -> bool {
+        self.applied.is_empty() && self.rejected.is_empty()
+    }
+}
+
+/// Renders one knob difference with `Debug` formatting on both sides.
+fn knob_change<T: std::fmt::Debug>(knob: &str, from: &T, to: &T) -> KnobChange {
+    KnobChange {
+        knob: knob.to_string(),
+        from: format!("{from:?}"),
+        to: format!("{to:?}"),
     }
 }
 
@@ -460,6 +516,9 @@ impl ThriftyService {
                 "controller.adapt_grow",
                 "controller.moves_deferred",
                 "controller.builds_capped",
+                "config.reloads",
+                "config.knobs_applied",
+                "config.knobs_rejected",
             ] {
                 telemetry.incr_by(name, 0);
             }
@@ -767,6 +826,123 @@ impl ThriftyService {
     pub fn into_report(mut self) -> ThriftyResult<ServiceReport> {
         self.drain()?;
         Ok(self.take_report())
+    }
+
+    /// The configuration currently in force.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Applies a hot-reload candidate configuration to the live service.
+    ///
+    /// The candidate first re-runs the [`ServiceConfigBuilder::build`]
+    /// validation; each knob that differs from the running configuration
+    /// is then classified. Run-time knobs — `sla_policy`, `sla_p`,
+    /// `elastic_scaling`, `scaling_epoch_ms`, `scaling_check_interval_ms`
+    /// — take effect immediately for all future routing, grading, and
+    /// scaling decisions. Deploy-time knobs — `monitor_window_ms` (baked
+    /// into every group's activity monitor at provisioning), `trace`
+    /// (anchored to the deployment instant), and `telemetry` (sizes the
+    /// event ring at deployment) — are rejected with a reason and keep
+    /// their running values.
+    ///
+    /// # Errors
+    /// [`ThriftyError::InvalidConfig`] when the candidate fails the
+    /// builder validation (e.g. `sla_p` outside `(0, 1]`); nothing is
+    /// applied in that case, including otherwise-safe knobs.
+    pub fn apply_config(&mut self, candidate: ServiceConfig) -> ThriftyResult<ConfigDelta> {
+        let candidate = candidate.to_builder().build()?;
+        let cur = self.config.clone();
+        let mut delta = ConfigDelta::default();
+
+        if cur.sla_policy.tolerance != candidate.sla_policy.tolerance {
+            delta.applied.push(knob_change(
+                "sla_policy.tolerance",
+                &cur.sla_policy.tolerance,
+                &candidate.sla_policy.tolerance,
+            ));
+        }
+        if cur.sla_p != candidate.sla_p {
+            delta
+                .applied
+                .push(knob_change("sla_p", &cur.sla_p, &candidate.sla_p));
+        }
+        if cur.elastic_scaling != candidate.elastic_scaling {
+            delta.applied.push(knob_change(
+                "elastic_scaling",
+                &cur.elastic_scaling,
+                &candidate.elastic_scaling,
+            ));
+        }
+        if cur.scaling_epoch_ms != candidate.scaling_epoch_ms {
+            delta.applied.push(knob_change(
+                "scaling_epoch_ms",
+                &cur.scaling_epoch_ms,
+                &candidate.scaling_epoch_ms,
+            ));
+        }
+        if cur.scaling_check_interval_ms != candidate.scaling_check_interval_ms {
+            delta.applied.push(knob_change(
+                "scaling_check_interval_ms",
+                &cur.scaling_check_interval_ms,
+                &candidate.scaling_check_interval_ms,
+            ));
+        }
+
+        if cur.monitor_window_ms != candidate.monitor_window_ms {
+            delta.rejected.push(RejectedKnob {
+                change: knob_change(
+                    "monitor_window_ms",
+                    &cur.monitor_window_ms,
+                    &candidate.monitor_window_ms,
+                ),
+                reason: "the RT-TTP window is baked into every group's activity monitor \
+                         at provisioning; redeploy to change it"
+                    .to_string(),
+            });
+        }
+        let trace_changed = match (&cur.trace, &candidate.trace) {
+            (None, None) => false,
+            (Some(a), Some(b)) => a.groups != b.groups || a.interval_ms != b.interval_ms,
+            _ => true,
+        };
+        if trace_changed {
+            delta.rejected.push(RejectedKnob {
+                change: knob_change("trace", &cur.trace, &candidate.trace),
+                reason: "RT-TTP trace sampling is anchored to the deployment instant; \
+                         redeploy to change it"
+                    .to_string(),
+            });
+        }
+        if cur.telemetry != candidate.telemetry {
+            delta.rejected.push(RejectedKnob {
+                change: knob_change("telemetry", &cur.telemetry, &candidate.telemetry),
+                reason: "the telemetry recording policy sizes the event ring at \
+                         deployment; redeploy to change it"
+                    .to_string(),
+            });
+        }
+
+        self.config.sla_policy = candidate.sla_policy;
+        self.config.sla_p = candidate.sla_p;
+        self.config.elastic_scaling = candidate.elastic_scaling;
+        self.config.scaling_epoch_ms = candidate.scaling_epoch_ms;
+        self.config.scaling_check_interval_ms = candidate.scaling_check_interval_ms;
+
+        if self.telemetry.is_enabled() {
+            let at_ms = self.log_ms(self.cluster.now().as_ms());
+            self.telemetry.incr("config.reloads");
+            self.telemetry
+                .incr_by("config.knobs_applied", delta.applied.len() as u64);
+            self.telemetry
+                .incr_by("config.knobs_rejected", delta.rejected.len() as u64);
+            self.telemetry.record(TelemetryEvent::ConfigReloaded {
+                at_ms,
+                applied: delta.applied.len(),
+                rejected: delta.rejected.len(),
+            });
+        }
+        Ok(delta)
     }
 
     /// A snapshot of the telemetry recorded so far, with per-instance

@@ -514,6 +514,16 @@ pub enum TelemetryEvent {
         /// The error that drove the adaptation, in parts per million.
         error_ppm: u64,
     },
+    /// A configuration hot-reload was applied to the live service (see
+    /// [`ThriftyService::apply_config`](crate::service::ThriftyService::apply_config)).
+    ConfigReloaded {
+        /// Log-time instant in ms.
+        at_ms: u64,
+        /// Knob changes applied live.
+        applied: usize,
+        /// Knob changes rejected as deploy-time-only.
+        rejected: usize,
+    },
 }
 
 impl TelemetryEvent {
@@ -540,7 +550,8 @@ impl TelemetryEvent {
             | TelemetryEvent::ReconsolidationStarted { at_ms, .. }
             | TelemetryEvent::ReconsolidationCompleted { at_ms, .. }
             | TelemetryEvent::GroupCutover { at_ms, .. }
-            | TelemetryEvent::ControllerAdapted { at_ms, .. } => at_ms,
+            | TelemetryEvent::ControllerAdapted { at_ms, .. }
+            | TelemetryEvent::ConfigReloaded { at_ms, .. } => at_ms,
         }
     }
 }

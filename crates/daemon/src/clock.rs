@@ -1,0 +1,57 @@
+//! The wall-clock [`ClockSource`] — the one place in the workspace that
+//! reads ambient time (lint rule L2 permits it solely in this crate).
+
+use std::time::Instant;
+use thrifty::clock::ClockSource;
+
+/// Elapsed wall time since construction, in ms. Monotone by
+/// [`Instant`]'s contract; manual advancement is rejected so an operator
+/// cannot warp a production timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    anchor: Instant,
+}
+
+impl WallClock {
+    /// Anchors the clock at the current instant.
+    pub fn new() -> Self {
+        WallClock {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl ClockSource for WallClock {
+    fn now_ms(&mut self) -> u64 {
+        u64::try_from(self.anchor.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn advance(&mut self, _ms: u64) -> bool {
+        false
+    }
+
+    fn is_simulated(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_and_rejects_manual_advance() {
+        let mut clock = WallClock::new();
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
+        assert!(!clock.advance(1_000));
+        assert!(!clock.is_simulated());
+    }
+}

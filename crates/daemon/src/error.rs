@@ -1,0 +1,94 @@
+//! Error chain of the daemon: configuration, transport, protocol, and
+//! service failures, each preserving its source.
+
+use std::fmt;
+
+/// Convenience alias used across the daemon crate.
+pub type DaemonResult<T> = Result<T, DaemonError>;
+
+/// Anything that can go wrong hosting or speaking to a `thriftyd`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DaemonError {
+    /// Socket/file I/O failed.
+    Io(std::io::Error),
+    /// A JSON payload could not be encoded or decoded.
+    Json(serde_json::Error),
+    /// The daemon configuration is structurally invalid (before it ever
+    /// reaches the service layer). Carries a human-readable description.
+    Config(String),
+    /// The hosted service refused an operation.
+    Service(thrifty::error::ThriftyError),
+    /// The peer broke the wire protocol (unexpected reply shape, closed
+    /// connection mid-request).
+    Protocol(String),
+    /// The daemon answered with a structured error.
+    Remote {
+        /// Stable machine-readable kind (e.g. `invalid-config`).
+        kind: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Io(e) => write!(f, "i/o: {e}"),
+            DaemonError::Json(e) => write!(f, "json: {e}"),
+            DaemonError::Config(msg) => write!(f, "config: {msg}"),
+            DaemonError::Service(e) => write!(f, "service: {e}"),
+            DaemonError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            DaemonError::Remote { kind, message } => write!(f, "remote [{kind}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaemonError::Io(e) => Some(e),
+            DaemonError::Json(e) => Some(e),
+            DaemonError::Service(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DaemonError {
+    fn from(e: std::io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for DaemonError {
+    fn from(e: serde_json::Error) -> Self {
+        DaemonError::Json(e)
+    }
+}
+
+impl From<thrifty::error::ThriftyError> for DaemonError {
+    fn from(e: thrifty::error::ThriftyError) -> Self {
+        DaemonError::Service(e)
+    }
+}
+
+/// Stable machine-readable kind for a service error, carried in wire
+/// error envelopes so operators and harnesses can branch without parsing
+/// prose.
+pub fn service_error_kind(e: &thrifty::error::ThriftyError) -> &'static str {
+    use thrifty::error::ThriftyError as E;
+    match e {
+        E::ClusterTooSmall { .. } => "cluster-too-small",
+        E::EmptyPlan => "empty-plan",
+        E::UnknownTemplate(_) => "unknown-template",
+        E::UnknownTenant(_) => "unknown-tenant",
+        E::DuplicateTenant(_) => "duplicate-tenant",
+        E::NotDeployed => "not-deployed",
+        E::NoRunningQuery { .. } => "no-running-query",
+        E::InvalidConfig(_) => "invalid-config",
+        E::Internal(_) => "internal",
+        E::Sim(_) => "sim",
+        _ => "service",
+    }
+}

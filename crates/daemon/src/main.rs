@@ -1,0 +1,380 @@
+//! `thriftyd` — the thrifty control-plane daemon and its operator CLI.
+//!
+//! One binary serves both roles, deployer-style: `thriftyd start` hosts
+//! the service on a unix socket; every other subcommand is a thin client
+//! speaking the line-JSON protocol to a running daemon.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use thrifty::clock::SimClock;
+use thrifty_daemon::client::DaemonClient;
+use thrifty_daemon::clock::WallClock;
+use thrifty_daemon::config::DaemonConfig;
+use thrifty_daemon::error::DaemonResult;
+use thrifty_daemon::runtime::DaemonCore;
+use thrifty_daemon::{server, signal};
+
+const USAGE: &str = "\
+thriftyd — thrifty analytics-service control-plane daemon
+
+USAGE:
+  thriftyd init-config
+      Print a ready-to-edit example config (JSON) to stdout.
+  thriftyd start --config <file> [--socket <path>] [--sim-clock]
+      Host the service. --sim-clock freezes time except for explicit
+      advance/quiesce requests (harness + replay mode).
+  thriftyd status   [--socket <path>] [--json]
+  thriftyd cutover status [--socket <path>] [--json]
+  thriftyd telemetry [--socket <path>]
+  thriftyd report    [--socket <path>]
+  thriftyd ping      [--socket <path>]
+  thriftyd reload    [--socket <path>]
+  thriftyd stop      [--socket <path>]
+  thriftyd tenant register --id <n> --nodes <n> --data-gb <gb> [--socket <path>]
+  thriftyd tenant deregister --id <n> [--socket <path>]
+  thriftyd submit --tenant <n> --template <n> --data-gb <gb> --nodes <n> [--socket <path>]
+  thriftyd inject-failure --node <n> [--socket <path>]
+  thriftyd advance --ms <n> [--socket <path>]      (sim-clock daemons)
+  thriftyd quiesce --ms <n> [--socket <path>]      (sim-clock daemons)
+  thriftyd cycle [--socket <path>]
+
+The socket defaults to $THRIFTYD_SOCKET, then ./thriftyd.sock.
+";
+
+/// Parsed command line: flag values by name plus positional words.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let takes_value = !matches!(name, "sim-clock" | "json");
+                if takes_value {
+                    let Some(v) = it.next() else {
+                        return Err(format!("flag --{name} needs a value"));
+                    };
+                    flags.push((name.to_string(), Some(v.clone())));
+                } else {
+                    flags.push((name.to_string(), None));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.value(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn required_u32(&self, name: &str) -> Result<u32, String> {
+        self.required(name)?
+            .parse()
+            .map_err(|_| format!("--{name} must be an unsigned integer"))
+    }
+
+    fn required_u64(&self, name: &str) -> Result<u64, String> {
+        self.required(name)?
+            .parse()
+            .map_err(|_| format!("--{name} must be an unsigned integer"))
+    }
+
+    fn required_f64(&self, name: &str) -> Result<f64, String> {
+        self.required(name)?
+            .parse()
+            .map_err(|_| format!("--{name} must be a number"))
+    }
+
+    fn socket(&self) -> PathBuf {
+        self.value("socket")
+            .map(PathBuf::from)
+            .or_else(|| std::env::var_os("THRIFTYD_SOCKET").map(PathBuf::from))
+            .unwrap_or_else(|| PathBuf::from("thriftyd.sock"))
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
+        print!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(msg) => return usage_error(&msg),
+    };
+    let command: Vec<&str> = args.positional.iter().map(String::as_str).collect();
+    let outcome = match command.as_slice() {
+        ["init-config"] => init_config(),
+        ["start"] => start(&args),
+        ["status"] => status(&args),
+        ["cutover", "status"] => cutover_status(&args),
+        ["telemetry"] => telemetry(&args),
+        ["report"] => report(&args),
+        ["ping"] => with_client(&args, |c| {
+            c.ping()?;
+            println!("pong");
+            Ok(())
+        }),
+        ["reload"] => reload(&args),
+        ["stop"] => with_client(&args, |c| {
+            let records = c.stop()?;
+            println!("stopped ({records} SLA records)");
+            Ok(())
+        }),
+        ["tenant", "register"] => tenant_register(&args),
+        ["tenant", "deregister"] => with_client(&args, |c| {
+            let id = args.required_u32("id").map_err(err_config)?;
+            c.deregister(id)?;
+            println!("deregistered tenant {id}");
+            Ok(())
+        }),
+        ["submit"] => submit(&args),
+        ["inject-failure"] => with_client(&args, |c| {
+            let node = args.required_u32("node").map_err(err_config)?;
+            c.inject_failure(node)?;
+            println!("node {node} failed");
+            Ok(())
+        }),
+        ["advance"] => with_client(&args, |c| {
+            let now = c.advance(args.required_u64("ms").map_err(err_config)?)?;
+            println!("log time now {now} ms");
+            Ok(())
+        }),
+        ["quiesce"] => with_client(&args, |c| {
+            let now = c.quiesce(args.required_u64("ms").map_err(err_config)?)?;
+            println!("quiescent at {now} ms");
+            Ok(())
+        }),
+        ["cycle"] => with_client(&args, |c| {
+            let started = c.cycle()?;
+            println!(
+                "{}",
+                if started {
+                    "cycle started"
+                } else {
+                    "no cycle needed (no-op plan, busy, or tight pool)"
+                }
+            );
+            Ok(())
+        }),
+        _ => return usage_error(&format!("unknown command: {}", command.join(" "))),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("thriftyd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("thriftyd: {msg}\n");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn err_config(msg: String) -> thrifty_daemon::DaemonError {
+    thrifty_daemon::DaemonError::Config(msg)
+}
+
+fn with_client(
+    args: &Args,
+    f: impl FnOnce(&mut DaemonClient) -> DaemonResult<()>,
+) -> DaemonResult<()> {
+    let mut client = DaemonClient::connect(&args.socket())?;
+    f(&mut client)
+}
+
+fn init_config() -> DaemonResult<()> {
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&DaemonConfig::example())?
+    );
+    Ok(())
+}
+
+fn start(args: &Args) -> DaemonResult<()> {
+    let config_path = PathBuf::from(args.required("config").map_err(err_config)?);
+    let config = DaemonConfig::load(&config_path)?;
+    let clock: Box<dyn thrifty::clock::ClockSource> = if args.has("sim-clock") {
+        Box::new(SimClock::default())
+    } else {
+        Box::new(WallClock::new())
+    };
+    let core = DaemonCore::from_config(config, Some(config_path), clock)?;
+    signal::install_sighup();
+    server::serve(core, &args.socket())
+}
+
+fn status(args: &Args) -> DaemonResult<()> {
+    with_client(args, |c| {
+        let view = c.status()?;
+        if args.has("json") {
+            println!("{}", serde_json::to_string_pretty(&view)?);
+            return Ok(());
+        }
+        println!(
+            "clock {} | log {} ms (up {} ms) | tenants {} ({}) | groups {} | cycles {}{}{}",
+            view.clock,
+            view.log_now_ms,
+            view.uptime_ms,
+            view.tenants.len(),
+            if view.all_routable {
+                "all routable"
+            } else {
+                "NOT all routable"
+            },
+            view.groups.len(),
+            view.cycles_completed,
+            if view.reconsolidation_active {
+                " | cycle ACTIVE"
+            } else {
+                ""
+            },
+            if view.pending_registrations {
+                " | registrations pending"
+            } else {
+                ""
+            },
+        );
+        for t in &view.tenants {
+            println!(
+                "  tenant {:>4}  group {:<8} {}{}",
+                t.id,
+                t.group.map_or_else(|| "-".to_string(), |g| g.to_string()),
+                if t.routable { "routable" } else { "unroutable" },
+                if t.parked { " (parked)" } else { "" },
+            );
+        }
+        for g in &view.groups {
+            println!(
+                "  group {:>3}  members {:<3} replicas {:<2} x {:>2} nodes{}{}",
+                g.index,
+                g.members.len(),
+                g.instances,
+                g.node_size,
+                if g.retired { "  retired" } else { "" },
+                if g.scale_out { "  scale-out" } else { "" },
+            );
+        }
+        Ok(())
+    })
+}
+
+fn cutover_status(args: &Args) -> DaemonResult<()> {
+    with_client(args, |c| {
+        let view = c.cutover_status()?;
+        if args.has("json") {
+            println!("{}", serde_json::to_string_pretty(&view)?);
+            return Ok(());
+        }
+        println!(
+            "cycles {} | next due {} ms (interval {} ms, window {} ms) | evaluations {}{}",
+            view.cycles_completed,
+            view.next_due_ms,
+            view.interval_ms,
+            view.window_ms,
+            view.evaluations,
+            if view.active { " | ACTIVE" } else { "" },
+        );
+        println!(
+            "  skips: busy {} noop {} tight-pool {} deferred {} | \
+             moves deferred {} builds capped {} adaptations {}",
+            view.skipped_busy,
+            view.skipped_noop,
+            view.skipped_insufficient_nodes,
+            view.skipped_deferred,
+            view.moves_deferred,
+            view.builds_capped,
+            view.adaptations,
+        );
+        if !view.retiring_groups.is_empty() {
+            println!("  retiring groups: {:?}", view.retiring_groups);
+        }
+        Ok(())
+    })
+}
+
+fn telemetry(args: &Args) -> DaemonResult<()> {
+    with_client(args, |c| {
+        let snapshot = c.telemetry()?;
+        println!("{}", serde_json::to_string_pretty(&snapshot)?);
+        Ok(())
+    })
+}
+
+fn report(args: &Args) -> DaemonResult<()> {
+    with_client(args, |c| {
+        println!("{}", c.report_json()?);
+        Ok(())
+    })
+}
+
+fn reload(args: &Args) -> DaemonResult<()> {
+    with_client(args, |c| {
+        let view = c.reload()?;
+        for k in &view.delta.applied {
+            println!("applied  {}: {} -> {}", k.knob, k.from, k.to);
+        }
+        for r in &view.delta.rejected {
+            println!(
+                "rejected {}: {} -> {} ({})",
+                r.change.knob, r.change.from, r.change.to, r.reason
+            );
+        }
+        for s in &view.rejected_sections {
+            println!("rejected section {}: {}", s.section, s.reason);
+        }
+        if view.delta.is_noop() && view.rejected_sections.is_empty() {
+            println!("config unchanged");
+        }
+        Ok(())
+    })
+}
+
+fn tenant_register(args: &Args) -> DaemonResult<()> {
+    with_client(args, |c| {
+        let id = args.required_u32("id").map_err(err_config)?;
+        c.register(
+            id,
+            args.required_u32("nodes").map_err(err_config)?,
+            args.required_f64("data-gb").map_err(err_config)?,
+        )?;
+        println!("registered tenant {id} (parks on the tuning MPPDB until live)");
+        Ok(())
+    })
+}
+
+fn submit(args: &Args) -> DaemonResult<()> {
+    with_client(args, |c| {
+        c.submit(
+            args.required_u32("tenant").map_err(err_config)?,
+            args.required_u32("template").map_err(err_config)?,
+            args.required_f64("data-gb").map_err(err_config)?,
+            args.required_u32("nodes").map_err(err_config)?,
+        )?;
+        println!("submitted");
+        Ok(())
+    })
+}

@@ -1,0 +1,216 @@
+//! Single-threaded unix-socket server.
+//!
+//! One nonblocking accept/read loop multiplexes every operator
+//! connection — no threads, so the daemon needs none of the workspace's
+//! determinism waivers (lint L3) and request handling is strictly
+//! serialized: requests are applied in arrival order, which the fuzz
+//! harness relies on for byte-equivalence with direct library calls.
+//!
+//! Protocol framing is one JSON line per request, one envelope line per
+//! answer (see [`crate::protocol`]). Between turns the loop ticks the
+//! [`DaemonCore`] (advancing the log timeline on wall-clock daemons) and
+//! polls the `SIGHUP` latch for file-based hot-reload.
+
+use crate::error::{DaemonError, DaemonResult};
+use crate::protocol::{encode_line, Envelope, Request};
+use crate::runtime::DaemonCore;
+use crate::signal::take_sighup;
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// One connected operator: its stream plus the partial-line buffer.
+struct Conn {
+    stream: UnixStream,
+    buf: Vec<u8>,
+}
+
+/// Removes the socket file when the server leaves scope, clean exit or
+/// not.
+struct SocketGuard {
+    path: PathBuf,
+}
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Binds `socket`, refusing to clobber a live daemon: a connectable
+/// socket means one is serving; a stale file (dead daemon) is removed.
+fn claim_socket(socket: &Path) -> DaemonResult<UnixListener> {
+    if socket.exists() {
+        if UnixStream::connect(socket).is_ok() {
+            return Err(DaemonError::Config(format!(
+                "socket {} already has a live daemon (use `thriftyd stop` first)",
+                socket.display()
+            )));
+        }
+        let _ = std::fs::remove_file(socket);
+    }
+    Ok(UnixListener::bind(socket)?)
+}
+
+/// Serves `core` on `socket` until a `Stop` request drains it. Prints a
+/// single ready line (`thriftyd: serving on <socket>`) once the socket
+/// is claimed, which harnesses use as the startup barrier.
+///
+/// # Errors
+/// Socket claim failures and daemon-fatal stepping errors; per-request
+/// failures are answered as error envelopes and never end the loop.
+pub fn serve(mut core: DaemonCore, socket: &Path) -> DaemonResult<()> {
+    let listener = claim_socket(socket)?;
+    listener.set_nonblocking(true)?;
+    let _guard = SocketGuard {
+        path: socket.to_path_buf(),
+    };
+    let idle = Duration::from_millis(if core.is_simulated() {
+        1
+    } else {
+        core.config().daemon.tick_ms
+    });
+    println!("thriftyd: serving on {}", socket.display());
+    std::io::stdout().flush()?;
+
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        let mut progressed = false;
+
+        if take_sighup() {
+            match core.reload() {
+                Ok(view) => eprintln!(
+                    "thriftyd: SIGHUP reload: {}",
+                    encode_line(&view).unwrap_or_else(|e| e.to_string())
+                ),
+                Err(e) => eprintln!("thriftyd: SIGHUP reload failed (config unchanged): {e}"),
+            }
+            progressed = true;
+        }
+
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(true)?;
+                    conns.push(Conn {
+                        stream,
+                        buf: Vec::new(),
+                    });
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        let mut i = 0;
+        while i < conns.len() {
+            match pump(&mut conns[i], &mut core) {
+                Ok(PumpOutcome::Idle) => i += 1,
+                Ok(PumpOutcome::Progressed) => {
+                    progressed = true;
+                    i += 1;
+                }
+                Ok(PumpOutcome::Closed) | Err(_) => {
+                    // A broken peer only costs its own connection.
+                    conns.swap_remove(i);
+                    progressed = true;
+                }
+            }
+            if core.stopping() {
+                // The Stop reply is already on the wire; drop the
+                // listener and let the guard remove the socket.
+                return Ok(());
+            }
+        }
+
+        core.tick()?;
+        if !progressed {
+            std::thread::sleep(idle);
+        }
+    }
+}
+
+enum PumpOutcome {
+    /// Nothing to read.
+    Idle,
+    /// At least one byte or request moved.
+    Progressed,
+    /// The peer hung up.
+    Closed,
+}
+
+/// Reads whatever the connection has pending and answers every complete
+/// line. Returns as soon as the core starts stopping so the caller can
+/// exit without answering later requests with a half-dead service.
+fn pump(conn: &mut Conn, core: &mut DaemonCore) -> DaemonResult<PumpOutcome> {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut read_any = false;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                return if read_any && !conn.buf.is_empty() {
+                    Err(DaemonError::Protocol(
+                        "connection closed mid-line".to_string(),
+                    ))
+                } else {
+                    Ok(PumpOutcome::Closed)
+                };
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                read_any = true;
+                answer_complete_lines(conn, core)?;
+                if core.stopping() {
+                    return Ok(PumpOutcome::Progressed);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                return Ok(if read_any {
+                    PumpOutcome::Progressed
+                } else {
+                    PumpOutcome::Idle
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Drains complete lines from the buffer, dispatching each and writing
+/// its envelope. Malformed lines get a structured `parse` error instead
+/// of killing the connection.
+fn answer_complete_lines(conn: &mut Conn, core: &mut DaemonCore) -> DaemonResult<()> {
+    while let Some(nl) = conn.buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = conn.buf.drain(..=nl).collect();
+        let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+        if text.trim().is_empty() {
+            continue;
+        }
+        let envelope = match crate::protocol::decode_line::<Request>(&text) {
+            Ok(req) => core.handle(&req),
+            Err(e) => Envelope::err("parse", format!("bad request line: {e}")),
+        };
+        write_envelope(&mut conn.stream, &envelope)?;
+        if core.stopping() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Writes one envelope line, temporarily blocking so a large reply (a
+/// full telemetry snapshot) lands whole even on a slow reader.
+fn write_envelope(stream: &mut UnixStream, envelope: &Envelope) -> DaemonResult<()> {
+    let mut line = encode_line(envelope)?;
+    line.push('\n');
+    stream.set_nonblocking(false)?;
+    let result = stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.flush());
+    stream.set_nonblocking(true)?;
+    result?;
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Minimal `SIGHUP` latch for config hot-reload.
+//!
+//! The workspace builds offline with no `libc`/`signal-hook` crates, so
+//! the handler is registered through the C library's `signal(2)` symbol
+//! directly — the handler itself only flips an atomic flag, which is
+//! async-signal-safe, and the event loop polls the latch between turns.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGHUP_PENDING: AtomicBool = AtomicBool::new(false);
+
+/// `SIGHUP`'s number on every platform this daemon targets (POSIX).
+const SIGHUP: i32 = 1;
+
+extern "C" fn on_sighup(_signum: i32) {
+    SIGHUP_PENDING.store(true, Ordering::SeqCst);
+}
+
+/// Installs the `SIGHUP` → reload latch. Call once at daemon startup; on
+/// non-unix targets this is a no-op and reload stays available through
+/// the `reload` request.
+pub fn install_sighup() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: `signal` is the C library's handler registration; the
+        // handler passed is a valid `extern "C" fn(i32)` for the whole
+        // program lifetime and does nothing but store to an atomic.
+        unsafe {
+            signal(SIGHUP, on_sighup);
+        }
+    }
+}
+
+/// Consumes a pending `SIGHUP`, returning whether one had arrived since
+/// the last call.
+pub fn take_sighup() -> bool {
+    SIGHUP_PENDING.swap(false, Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_latch_consumes_once() {
+        SIGHUP_PENDING.store(true, Ordering::SeqCst);
+        assert!(take_sighup());
+        assert!(!take_sighup());
+    }
+}

@@ -1,0 +1,238 @@
+//! End-to-end smoke of the real `thriftyd` binary over its unix socket:
+//! start → status → register → routable → hot-reload (one knob applied,
+//! one rejected, one section refused) → telemetry reconciliation → stop
+//! drains and exits 0. The full round trip runs under `--sim-clock`
+//! (bulk loads take ~100 log-seconds, which `quiesce` crosses
+//! instantly); a second test proves the wall-clock daemon serves and
+//! rejects manual time.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use thrifty_daemon::client::DaemonClient;
+use thrifty_daemon::config::DaemonConfig;
+use thrifty_daemon::error::DaemonError;
+
+/// Kills the daemon on drop so a failing assertion cannot leak a
+/// process or a socket.
+struct DaemonGuard {
+    child: Child,
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct TestBed {
+    dir: PathBuf,
+    config_path: PathBuf,
+    socket: PathBuf,
+}
+
+impl TestBed {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("thriftyd-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TestBed {
+            config_path: dir.join("thriftyd.json"),
+            socket: dir.join("thriftyd.sock"),
+            dir,
+        }
+    }
+
+    fn write_config(&self, cfg: &DaemonConfig) {
+        std::fs::write(
+            &self.config_path,
+            serde_json::to_string_pretty(cfg).unwrap(),
+        )
+        .unwrap();
+    }
+
+    fn start(&self, sim_clock: bool) -> DaemonGuard {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_thriftyd"));
+        cmd.arg("start")
+            .arg("--config")
+            .arg(&self.config_path)
+            .arg("--socket")
+            .arg(&self.socket)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        if sim_clock {
+            cmd.arg("--sim-clock");
+        }
+        DaemonGuard {
+            child: cmd.spawn().expect("spawn thriftyd"),
+        }
+    }
+
+    fn connect(&self) -> DaemonClient {
+        DaemonClient::connect_with_retry(&self.socket, 200, 25).expect("daemon comes up")
+    }
+}
+
+impl Drop for TestBed {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn base_config() -> DaemonConfig {
+    let mut cfg = DaemonConfig::example();
+    cfg.daemon.tick_ms = 5;
+    cfg
+}
+
+/// Stops via the client and asserts the daemon process exits 0 and
+/// removes its socket.
+fn stop_and_reap(client: &mut DaemonClient, bed: &TestBed, mut guard: DaemonGuard) {
+    client.stop().expect("stop drains");
+    let status = guard.child.wait().expect("daemon reaped");
+    assert!(status.success(), "daemon exit status: {status:?}");
+    assert!(
+        !bed.socket.exists(),
+        "socket must be removed on clean shutdown"
+    );
+}
+
+#[test]
+fn sim_clock_full_round_trip() {
+    let bed = TestBed::new("sim");
+    let mut cfg = base_config();
+    cfg.reconsolidation.auto = false;
+    bed.write_config(&cfg);
+    let guard = bed.start(true);
+    let mut client = bed.connect();
+
+    client.ping().expect("ping");
+    let status = client.status().expect("status");
+    assert_eq!(status.clock, "sim");
+    assert_eq!(status.tenants.len(), 4);
+    assert!(status.all_routable, "{status:?}");
+
+    // Register: the tenant parks and bulk-loads; an hour of quiesced log
+    // time is far beyond the Table 5.1 load latency.
+    client.register(50, 2, 60.0).expect("register");
+    assert!(client.status().expect("status").pending_registrations);
+    client.quiesce(3_600_000).expect("quiesce");
+    let status = client.status().expect("status");
+    let t50 = status
+        .tenants
+        .iter()
+        .find(|t| t.id == 50)
+        .expect("tenant 50 is live");
+    assert!(t50.routable, "{status:?}");
+    assert!(status.all_routable);
+
+    // The registered tenant serves queries.
+    client.submit(50, 2, 30.0, 2).expect("submit");
+    client.quiesce(600_000).expect("quiesce");
+
+    // Hot-reload: sla_p is a live knob (applied), monitor_window_ms is
+    // deploy-time (rejected by the service), cluster resize is a refused
+    // section (rejected by the daemon).
+    let mut edited = cfg.clone();
+    edited.service.sla_p = 0.99;
+    edited.service.monitor_window_ms = 8 * 3_600_000;
+    edited.cluster.total_nodes = 40;
+    bed.write_config(&edited);
+    let view = client.reload().expect("reload");
+    assert_eq!(view.delta.applied.len(), 1, "{view:?}");
+    assert_eq!(view.delta.applied[0].knob, "sla_p");
+    assert_eq!(view.delta.rejected.len(), 1, "{view:?}");
+    assert_eq!(view.delta.rejected[0].change.knob, "monitor_window_ms");
+    assert_eq!(view.rejected_sections.len(), 1, "{view:?}");
+    assert_eq!(view.rejected_sections[0].section, "cluster");
+    let knobs = client.status().expect("status").service;
+    assert!((knobs.sla_p - 0.99).abs() < 1e-12);
+    assert_eq!(knobs.monitor_window_ms, 4 * 3_600_000);
+
+    // An invalid file is rejected wholesale and the daemon keeps serving
+    // the previous configuration.
+    let mut bad = edited.clone();
+    bad.service.sla_p = 7.0;
+    bed.write_config(&bad);
+    match client.reload() {
+        Err(DaemonError::Remote { kind, .. }) => assert_eq!(kind, "invalid-config"),
+        other => panic!("invalid reload must fail remotely, got {other:?}"),
+    }
+    client.ping().expect("daemon survives a bad reload");
+    assert!((client.status().expect("status").service.sla_p - 0.99).abs() < 1e-12);
+
+    // Telemetry reconciles with everything this test did.
+    let telemetry = client.telemetry().expect("telemetry");
+    assert_eq!(telemetry.counter("config.reloads"), 1);
+    assert_eq!(telemetry.counter("config.knobs_applied"), 1);
+    assert_eq!(telemetry.counter("config.knobs_rejected"), 1);
+    assert_eq!(telemetry.counter("tenants.registered"), 1);
+    assert_eq!(telemetry.counter("queries.submitted"), 1);
+    assert_eq!(telemetry.counter("queries.completed"), 1);
+
+    let cutover = client.cutover_status().expect("cutover status");
+    assert!(!cutover.active);
+    assert_eq!(cutover.cycles_completed, 0);
+
+    stop_and_reap(&mut client, &bed, guard);
+}
+
+#[test]
+fn wall_clock_daemon_serves_and_rejects_manual_time() {
+    let bed = TestBed::new("wall");
+    bed.write_config(&base_config());
+    let guard = bed.start(false);
+    let mut client = bed.connect();
+
+    client.ping().expect("ping");
+    let status = client.status().expect("status");
+    assert_eq!(status.clock, "wall");
+    assert!(status.all_routable, "{status:?}");
+
+    match client.advance(60_000) {
+        Err(DaemonError::Remote { kind, .. }) => assert_eq!(kind, "clock"),
+        other => panic!("wall daemons must reject manual time, got {other:?}"),
+    }
+
+    stop_and_reap(&mut client, &bed, guard);
+}
+
+#[test]
+fn init_config_prints_the_example() {
+    let out = Command::new(env!("CARGO_BIN_EXE_thriftyd"))
+        .arg("init-config")
+        .output()
+        .expect("init-config runs");
+    assert!(out.status.success());
+    let parsed: DaemonConfig =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).expect("valid config JSON");
+    assert_eq!(parsed, DaemonConfig::example());
+}
+
+#[test]
+fn a_live_socket_refuses_a_second_daemon() {
+    let bed = TestBed::new("claim");
+    bed.write_config(&base_config());
+    let guard = bed.start(true);
+    let mut client = bed.connect();
+    client.ping().expect("first daemon serves");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_thriftyd"))
+        .arg("start")
+        .arg("--config")
+        .arg(&bed.config_path)
+        .arg("--socket")
+        .arg(&bed.socket)
+        .arg("--sim-clock")
+        .output()
+        .expect("second daemon runs to completion");
+    assert!(!out.status.success(), "second claim must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("already has a live daemon"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    client.ping().expect("first daemon unaffected");
+    stop_and_reap(&mut client, &bed, guard);
+}

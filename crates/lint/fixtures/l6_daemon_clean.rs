@@ -1,0 +1,11 @@
+// L6 clean fixture for the daemon layer: the control plane may depend
+// on every library underneath it.
+use mppdb_sim::time::SimTime;
+use thrifty::prelude::*;
+use thrifty_workload::library::QueryLibrary;
+
+pub fn f() -> u64 {
+    let _ = std::any::type_name::<QueryLibrary>();
+    let _ = std::any::type_name::<ThriftyService>();
+    SimTime::from_ms(1).as_ms()
+}

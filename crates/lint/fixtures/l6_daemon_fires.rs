@@ -1,0 +1,8 @@
+// L6 firing fixture for the daemon layer: linted under a synthetic
+// `crates/daemon/src/...` path, this import reaches *up* into the bench
+// harness — the fuzz harness drives the daemon, never the reverse.
+use thrifty_bench::parallel::par_map;
+
+pub fn f() {
+    let _ = par_map;
+}

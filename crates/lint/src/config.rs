@@ -18,6 +18,9 @@ pub enum CrateScope {
     Workload,
     /// `crates/bench` — the experiment harness (`thrifty-bench`).
     Bench,
+    /// `crates/daemon` — the `thriftyd` control plane (`thrifty-daemon`),
+    /// the sole crate permitted to read the ambient wall clock.
+    Daemon,
     /// `crates/lint` — this crate.
     Lint,
     /// Anything else.
@@ -32,6 +35,7 @@ impl CrateScope {
             CrateScope::Sim => "sim",
             CrateScope::Workload => "workload",
             CrateScope::Bench => "bench",
+            CrateScope::Daemon => "daemon",
             CrateScope::Lint => "lint",
             CrateScope::Other => "other",
         }
@@ -44,6 +48,7 @@ impl CrateScope {
             "mppdb_sim" => Some(CrateScope::Sim),
             "thrifty_workload" => Some(CrateScope::Workload),
             "thrifty_bench" => Some(CrateScope::Bench),
+            "thrifty_daemon" => Some(CrateScope::Daemon),
             "thrifty_lint" => Some(CrateScope::Lint),
             _ => None,
         }
@@ -61,6 +66,7 @@ pub fn crate_scope(path: &str) -> CrateScope {
                 Some("sim") => CrateScope::Sim,
                 Some("workload") => CrateScope::Workload,
                 Some("bench") => CrateScope::Bench,
+                Some("daemon") => CrateScope::Daemon,
                 Some("lint") => CrateScope::Lint,
                 _ => CrateScope::Other,
             };
@@ -96,14 +102,16 @@ pub fn module_path(path: &str) -> String {
 /// the workspace architecture (see ARCHITECTURE.md "Static analysis"):
 ///
 /// ```text
-/// bench ──▶ core ──▶ sim ◀── workload
-///   │                 ▲
-///   └─────────────────┘        lint depends on nothing
+/// bench ──▶ daemon ──▶ core ──▶ sim ◀── workload
+///   │          │                 ▲
+///   └──────────┴─────────────────┘      lint depends on nothing
 /// ```
 ///
-/// In particular: `core`/`sim`/`workload` must not depend on `bench`
-/// (the harness sits on top), and `sim` must not depend on `core` (the
-/// simulator is the substrate, not a consumer).
+/// In particular: `core`/`sim`/`workload` must not depend on `bench` or
+/// `daemon` (the harness and the control plane sit on top), `sim` must
+/// not depend on `core` (the simulator is the substrate, not a
+/// consumer), and `daemon` must not depend on `bench` (the fuzz harness
+/// drives the daemon, never the reverse).
 #[derive(Clone, Debug)]
 pub struct LayeringContract {
     /// Permitted `(from, to)` crate edges.
@@ -118,6 +126,10 @@ impl Default for LayeringContract {
             (CrateScope::Bench, CrateScope::Core),
             (CrateScope::Bench, CrateScope::Sim),
             (CrateScope::Bench, CrateScope::Workload),
+            (CrateScope::Bench, CrateScope::Daemon),
+            (CrateScope::Daemon, CrateScope::Core),
+            (CrateScope::Daemon, CrateScope::Sim),
+            (CrateScope::Daemon, CrateScope::Workload),
         ]
         .into_iter()
         .collect();
@@ -164,11 +176,14 @@ pub const RULES: [RuleInfo; 9] = [
         id: "L2",
         title: "no ambient clock or entropy",
         allow_key: "ambient",
-        scope: "core, sim, workload",
+        scope: "core, sim, workload (daemon is the sanctioned wall-clock adapter)",
         rationale: "Instant::now(), SystemTime, thread_rng() and from_entropy() read state \
                     that differs per run. Deterministic crates take time from SimTime and \
-                    randomness from seeded DetRng streams; wall-clock stamping belongs to \
-                    the bench harness at the edges.",
+                    randomness from seeded DetRng streams. Ambient wall-clock reads are \
+                    permitted solely in crates/daemon (the thriftyd ClockSource adapter) \
+                    and in the bench harness's edge timers; the service core they host \
+                    stays clock-free so the daemon path replays byte-identically under \
+                    --sim-clock.",
     },
     RuleInfo {
         id: "L3",
@@ -204,12 +219,15 @@ pub const RULES: [RuleInfo; 9] = [
         title: "crate layering contract",
         allow_key: "layering",
         scope: "all workspace crates (use/path tokens, tree-wide)",
-        rationale: "The architecture is a DAG: bench -> {core, workload} -> sim, with lint \
-                    standalone. core/sim/workload must not depend on bench (the harness sits \
-                    on top, not underneath), sim must not depend on core (the simulator is \
-                    the substrate), and no dependency cycle may form. The pass parses \
-                    use/path tokens tree-wide, builds the inter-crate and inter-module \
-                    dependency graph, and rejects any edge outside the declared contract.",
+        rationale: "The architecture is a DAG: bench -> {daemon, core, workload} -> sim and \
+                    daemon -> {core, sim, workload}, with lint standalone. \
+                    core/sim/workload must not depend on bench or daemon (the harness and \
+                    the control plane sit on top, not underneath), sim must not depend on \
+                    core (the simulator is the substrate), daemon must not depend on bench \
+                    (the fuzz harness drives the daemon, never the reverse), and no \
+                    dependency cycle may form. The pass parses use/path tokens tree-wide, \
+                    builds the inter-crate and inter-module dependency graph, and rejects \
+                    any edge outside the declared contract.",
     },
     RuleInfo {
         id: "L7",
@@ -295,6 +313,15 @@ mod tests {
         assert!(!c.permits(CrateScope::Sim, CrateScope::Core));
         assert!(!c.permits(CrateScope::Workload, CrateScope::Bench));
         assert!(!c.permits(CrateScope::Lint, CrateScope::Core));
+        // The control plane sits beside bench: it may use the libraries,
+        // the libraries may not use it, and it may not reach into bench.
+        assert!(c.permits(CrateScope::Daemon, CrateScope::Core));
+        assert!(c.permits(CrateScope::Daemon, CrateScope::Sim));
+        assert!(c.permits(CrateScope::Daemon, CrateScope::Workload));
+        assert!(c.permits(CrateScope::Bench, CrateScope::Daemon));
+        assert!(!c.permits(CrateScope::Daemon, CrateScope::Bench));
+        assert!(!c.permits(CrateScope::Core, CrateScope::Daemon));
+        assert!(!c.permits(CrateScope::Sim, CrateScope::Daemon));
     }
 
     #[test]

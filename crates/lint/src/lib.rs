@@ -15,7 +15,7 @@
 //! | rule | scope                       | what it rejects                                    |
 //! |------|-----------------------------|----------------------------------------------------|
 //! | L1   | all workspace crates        | `HashMap`/`HashSet` (iteration order is random)    |
-//! | L2   | `core`,`sim`,`workload`     | `Instant`/`SystemTime`/`thread_rng` ambient state  |
+//! | L2   | `core`,`sim`,`workload`     | `Instant`/`SystemTime`/`thread_rng` ambient state (the `daemon` clock adapter is the sanctioned exception) |
 //! | L3   | all but `bench::parallel`   | `spawn` (ad-hoc threading)                         |
 //! | L4   | `core`,`sim`,`workload`     | `.unwrap()`/`.expect()`/`panic!`/`unreachable!`    |
 //! | L5   | `sim`                       | bare `as` casts to integer types                   |

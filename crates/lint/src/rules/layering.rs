@@ -128,7 +128,7 @@ pub fn check(run: &mut Run<'_>, contract: &LayeringContract, findings: &mut Vec<
             let scope_path = unit.tree.path_of_token(i);
             let message = format!(
                 "crate `{}` must not depend on `{}` (layering contract: the architecture \
-                 is a DAG with bench on top of core/workload on top of sim)",
+                 is a DAG with bench on top of daemon/core/workload on top of sim)",
                 from.short_name(),
                 target.short_name()
             );

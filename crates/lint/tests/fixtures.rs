@@ -63,6 +63,17 @@ fn l2_fires_on_ambient_state_in_deterministic_crates_only() {
 }
 
 #[test]
+fn l2_permits_the_daemon_clock_adapter() {
+    // The exact source that fires in every deterministic crate is legal
+    // in crates/daemon — the sanctioned ClockSource adapter is the one
+    // library place allowed to read ambient time.
+    let src = include_str!("../fixtures/l2_fires.rs");
+    assert!(!lint_fixture(src, "crates/core/src/fixture.rs").is_empty());
+    assert!(lint_fixture(src, "crates/daemon/src/fixture.rs").is_empty());
+    assert!(lint_fixture(src, "crates/daemon/src/clock.rs").is_empty());
+}
+
+#[test]
 fn l3_fires_on_spawn_everywhere_but_the_parallel_module() {
     let src = include_str!("../fixtures/l3_fires.rs");
     let fired = lint_fixture(src, "crates/workload/src/fixture.rs");
@@ -166,6 +177,42 @@ fn l6_rejects_a_core_to_bench_edge() {
         "crates/core/src/fixture.rs",
     );
     assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn l6_places_the_daemon_between_bench_and_the_libraries() {
+    // daemon -> bench inverts the harness-on-top architecture.
+    let fired = lint_fixture(
+        include_str!("../fixtures/l6_daemon_fires.rs"),
+        "crates/daemon/src/fixture.rs",
+    );
+    assert_eq!(rules(&fired), vec!["L6"], "{fired:?}");
+    assert!(fired[0].message.contains("must not depend on `bench`"));
+
+    // The same import is the blessed direction from bench itself.
+    assert!(lint_fixture(
+        include_str!("../fixtures/l6_daemon_fires.rs"),
+        "crates/bench/src/fixture.rs"
+    )
+    .is_empty());
+
+    // daemon -> {core, sim, workload} are all contract edges.
+    let clean = lint_fixture(
+        include_str!("../fixtures/l6_daemon_clean.rs"),
+        "crates/daemon/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    // The libraries must not reach up into the control plane: the same
+    // clean source re-homed into core gains a core -> daemon edge via a
+    // daemon import.
+    let core_to_daemon = "use thrifty_daemon::client::DaemonClient;\npub fn f() {}\n";
+    let fired = lint_fixture(core_to_daemon, "crates/core/src/fixture.rs");
+    assert_eq!(rules(&fired), vec!["L6"], "{fired:?}");
+    assert!(fired[0].message.contains("must not depend on `daemon`"));
+
+    // bench -> daemon is allowed (the fuzz harness drives thriftyd).
+    assert!(lint_fixture(core_to_daemon, "crates/bench/src/fixture.rs").is_empty());
 }
 
 #[test]

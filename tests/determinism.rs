@@ -391,6 +391,132 @@ fn sharded_grouping_matches_serial_on_random_problems() {
     }
 }
 
+/// The control-plane daemon is a thin shell: under a `SimClock`, a
+/// request schedule driven through [`DaemonCore`] — with idle event-loop
+/// ticks interleaved, which must be no-ops — produces a byte-identical
+/// envelope transcript at 1 vs 4 threads, and its final `Report` answer
+/// equals, byte for byte, the envelope built from the *same* operation
+/// sequence performed directly on a `ThriftyService`. This is the
+/// contract that lets `fault_fuzz --daemon` compare a spawned `thriftyd`
+/// against direct library dispatch.
+#[test]
+fn sim_clock_daemon_is_byte_identical_to_direct_service_use() {
+    use mppdb_sim::cost::isolated_latency_ms;
+    use mppdb_sim::time::{SimDuration, SimTime};
+    use thrifty::clock::SimClock;
+    use thrifty_bench::parallel;
+    use thrifty_daemon::config::{DaemonConfig, TenantSection};
+    use thrifty_daemon::protocol::{encode_line, Envelope, Reply, Request};
+    use thrifty_daemon::runtime::DaemonCore;
+
+    let mut cfg = DaemonConfig::example();
+    cfg.reconsolidation.auto = false;
+    let schedule = vec![
+        Request::Register(TenantSection {
+            id: 50,
+            nodes: 2,
+            data_gb: 60.0,
+        }),
+        Request::Quiesce { ms: 3_600_000 },
+        Request::Submit {
+            tenant: 50,
+            template: 2,
+            data_gb: 30.0,
+            nodes: 2,
+        },
+        Request::Submit {
+            tenant: 0,
+            template: 2,
+            data_gb: 80.0,
+            nodes: 2,
+        },
+        Request::Quiesce { ms: 1_800_000 },
+        Request::Cycle,
+        Request::Quiesce { ms: 3_600_000 },
+        Request::Report,
+    ];
+
+    let daemon_run = |threads: usize| -> Vec<String> {
+        parallel::set_thread_override(Some(threads));
+        let mut core =
+            DaemonCore::from_config(cfg.clone(), None, Box::new(SimClock::default())).unwrap();
+        let mut lines = Vec::new();
+        for req in &schedule {
+            core.tick().unwrap();
+            lines.push(encode_line(&core.handle(req)).unwrap());
+            core.tick().unwrap();
+        }
+        parallel::set_thread_override(None);
+        lines
+    };
+    let one = daemon_run(1);
+    let four = daemon_run(4);
+    assert_eq!(
+        one, four,
+        "the daemon transcript must be byte-identical across thread counts"
+    );
+
+    // The direct path: the identical operation sequence, straight on the
+    // library, mirroring DaemonCore's dispatch exactly.
+    let mut service = ThriftyService::deploy(
+        &cfg.deployment_plan(),
+        cfg.cluster.total_nodes,
+        cfg.query_templates(),
+        cfg.service_config().unwrap(),
+    )
+    .unwrap();
+    let recon = Reconsolidator::new(cfg.advisor_config(), cfg.reconsolidation.interval_ms);
+    let tpl = cfg.query_templates()[0];
+    let epoch = service.log_now().as_ms();
+    let mut now = 0u64;
+    service
+        .register_tenant(Tenant::new(TenantId(50), 2, 60.0))
+        .unwrap();
+    now += 3_600_000;
+    service
+        .run_until_quiescent_at(SimTime::from_ms(epoch + now))
+        .unwrap();
+    for (tenant, data_gb) in [(50u32, 30.0), (0u32, 80.0)] {
+        let baseline = SimDuration::from_ms_f64(isolated_latency_ms(&tpl, data_gb, 2));
+        service
+            .submit(IncomingQuery {
+                tenant: TenantId(tenant),
+                submit: service.log_now(),
+                template: tpl.id,
+                baseline,
+            })
+            .unwrap();
+    }
+    now += 1_800_000;
+    service
+        .run_until_quiescent_at(SimTime::from_ms(epoch + now))
+        .unwrap();
+    if !service.reconsolidation_active() && !service.has_pending_registrations() {
+        let plan = recon.plan(&service);
+        if !plan.is_noop() {
+            service
+                .begin_reconsolidation(&plan)
+                .expect("the example pool fits a cycle");
+        }
+    }
+    now += 3_600_000;
+    service
+        .run_until_quiescent_at(SimTime::from_ms(epoch + now))
+        .unwrap();
+    let direct_envelope = Envelope::ok(Reply::Report {
+        json: serde_json::to_string(&service.report()).unwrap(),
+    });
+    assert_eq!(
+        one.last().unwrap(),
+        &encode_line(&direct_envelope).unwrap(),
+        "the daemon's report envelope must equal the direct service's, byte for byte"
+    );
+    assert!(
+        one.last().unwrap().contains("queries.completed"),
+        "the compared report must carry telemetry counters"
+    );
+}
+
 /// Deploys the 2-step plan for `corpus` with telemetry fully enabled,
 /// replays six hours of the composed logs, and serializes the entire
 /// [`ServiceReport`] — counters, histograms, per-instance utilization, and
